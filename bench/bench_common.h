@@ -1,0 +1,143 @@
+#ifndef START_BENCH_BENCH_COMMON_H_
+#define START_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/base.h"
+#include "core/pretrain.h"
+#include "core/start_encoder.h"
+#include "data/dataset.h"
+#include "eval/encoder.h"
+#include "eval/tasks.h"
+#include "roadnet/road_network.h"
+#include "traj/traffic_model.h"
+
+namespace start::bench {
+
+/// \brief Global scale knob: START_BENCH_SCALE multiplies dataset sizes and
+/// training epochs (default 1.0 reruns the whole suite on a laptop CPU in
+/// minutes; the paper's full scale corresponds to roughly 500x).
+double BenchScale();
+
+/// Shared model width used by every bench (paper: d = 256, L2 = 6; we scale
+/// to d = 32, L2 = 2 per DESIGN.md).
+struct BenchModelConfig {
+  int64_t d = 32;
+  int64_t encoder_layers = 2;
+  int64_t encoder_heads = 4;
+  std::vector<int64_t> gat_heads = {4, 4, 1};
+  int64_t max_len = 96;
+};
+
+/// \brief A fully-built synthetic city with its trajectory corpus: the bench
+/// counterpart of one dataset row of Table I.
+struct CityWorld {
+  std::string name;
+  std::unique_ptr<roadnet::RoadNetwork> net;
+  std::unique_ptr<traj::TrafficModel> traffic;
+  std::unique_ptr<data::TrajDataset> dataset;
+  std::unique_ptr<roadnet::TransferProbability> transfer;
+  int64_t num_drivers = 0;
+};
+
+/// BJ-like world: denser grid, binary occupied/vacant task (Sec. IV-D3).
+CityWorld MakeBjWorld();
+/// Porto-like world: coarser heterogeneous grid, driver-id multi-class task.
+CityWorld MakePortoWorld();
+/// Geolife-like world: small corpus with 4 transport modes (Table III).
+CityWorld MakeGeolifeWorld();
+
+/// The nine models of Table II.
+enum class ModelKind {
+  kTraj2Vec,
+  kT2Vec,
+  kTrembr,
+  kTransformer,
+  kBert,
+  kPim,
+  kPimTf,
+  kToast,
+  kStart,
+};
+
+std::string ModelName(ModelKind kind);
+std::vector<ModelKind> AllModels();
+
+/// \brief Owns one model (START or baseline) plus its encoder adapter.
+struct ModelRunner {
+  std::string name;
+  // Exactly one of the two is set.
+  std::unique_ptr<core::StartModel> start_model;
+  std::unique_ptr<core::StartEncoder> start_encoder;
+  std::unique_ptr<baselines::SequenceBaseline> baseline;
+
+  eval::TrajectoryEncoder* encoder() {
+    return start_model != nullptr
+               ? static_cast<eval::TrajectoryEncoder*>(start_encoder.get())
+               : static_cast<eval::TrajectoryEncoder*>(baseline.get());
+  }
+  nn::Module* module() {
+    return start_model != nullptr
+               ? static_cast<nn::Module*>(start_model.get())
+               : static_cast<nn::Module*>(baseline.get());
+  }
+};
+
+/// Builds an untrained model of the given kind for a world. `config_override`
+/// lets ablation/sensitivity benches tweak the START architecture.
+ModelRunner MakeRunner(ModelKind kind, const CityWorld& world,
+                       const BenchModelConfig& config = {},
+                       uint64_t seed = 17);
+
+/// Builds a START runner from an explicit StartConfig (ablation variants).
+ModelRunner MakeStartRunner(const core::StartConfig& config,
+                            const CityWorld& world, uint64_t seed = 17);
+
+/// \brief Pre-trains a runner on the world's training split, with transparent
+/// checkpoint caching under ./bench_cache (set START_BENCH_CACHE=0 to
+/// disable). `epochs <= 0` uses the bench default scaled by BenchScale().
+void PretrainRunner(ModelRunner* runner, const CityWorld& world,
+                    int64_t epochs = 0, const std::string& cache_tag = "");
+
+/// Bench-default pretraining epochs (scaled) for the secondary sweeps.
+int64_t DefaultPretrainEpochs();
+
+/// Pretraining epochs for the headline Table II protocol (and the benches
+/// that reuse its cached checkpoints). Larger than the sweep default because
+/// the deeper START stack keeps improving past the baselines' plateau, as in
+/// the paper's 30-epoch schedule.
+int64_t Table2PretrainEpochs();
+
+/// Bench-default task config for fine-tuning (scaled).
+eval::TaskConfig DefaultTaskConfig();
+
+/// START pretraining config used by the benches (aug pair, λ, τ as paper).
+core::PretrainConfig DefaultStartPretrainConfig(int64_t epochs);
+
+/// Label functions for the two classification tasks.
+int64_t OccupancyLabel(const traj::Trajectory& t);
+int64_t DriverLabel(const traj::Trajectory& t);
+int64_t ModeLabel(const traj::Trajectory& t);
+
+/// \brief Detour query/database sets for the similarity protocols
+/// (Sec. IV-D4): `queries[i]`'s ground truth is `database[gt[i]]`; the rest
+/// of the database are detoured negatives.
+struct SimilarityBenchData {
+  std::vector<traj::Trajectory> queries;
+  std::vector<traj::Trajectory> database;
+  std::vector<int64_t> gt_index;
+};
+
+/// Builds the detour protocol data from a world's test split.
+/// `select_proportion` is the paper's p_d.
+SimilarityBenchData MakeSimilarityData(const CityWorld& world,
+                                       int64_t num_queries,
+                                       int64_t num_negatives,
+                                       double select_proportion = 0.2,
+                                       uint64_t seed = 71);
+
+}  // namespace start::bench
+
+#endif  // START_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,79 @@
+// Reproduces Figure 9: parameter sensitivity — classification performance
+// while sweeping (a) encoder depth L2, (b) embedding size d, (c) batch size.
+// Paper shape: quality rises then saturates/dips with depth and width
+// (overfitting); very large contrastive batches hurt slightly (hard
+// negatives between near-identical trips).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace start;
+
+namespace {
+
+core::StartConfig BenchStartConfig(int64_t d, int64_t layers) {
+  core::StartConfig config;
+  config.d = d;
+  config.gat_heads = {4, 4, 1};
+  config.encoder_layers = layers;
+  config.encoder_heads = 4;
+  config.max_len = 96;
+  return config;
+}
+
+double F1For(const bench::CityWorld& world, const core::StartConfig& config,
+             int64_t batch_size) {
+  auto runner = bench::MakeStartRunner(config, world);
+  auto pretrain = bench::DefaultStartPretrainConfig(
+      std::max<int64_t>(4, bench::DefaultPretrainEpochs() / 2));
+  pretrain.batch_size = batch_size;
+  core::Pretrain(runner.start_model.get(), world.dataset->train(),
+                 world.traffic.get(), pretrain);
+  const auto result = eval::FinetuneClassification(
+      runner.encoder(), world.dataset->train(), world.dataset->test(),
+      bench::OccupancyLabel, 2, 1, bench::DefaultTaskConfig());
+  return result.f1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 9: parameter sensitivity (classification F1, "
+              "BJ-like) ===\n");
+  const auto world = bench::MakeBjWorld();
+
+  std::printf("\n-- (a) depth of encoder layer L2 --\n");
+  common::TablePrinter depth({"L2", "F1"});
+  for (const int64_t layers : {1, 2, 3, 4}) {
+    depth.AddRow({std::to_string(layers),
+                  common::TablePrinter::Num(
+                      F1For(world, BenchStartConfig(32, layers), 16), 3)});
+    std::fprintf(stderr, "[fig9] depth %ld done\n", layers);
+  }
+  depth.Print();
+
+  std::printf("\n-- (b) embedding size d --\n");
+  common::TablePrinter width({"d", "F1"});
+  for (const int64_t d : {16, 32, 64}) {
+    width.AddRow({std::to_string(d),
+                  common::TablePrinter::Num(
+                      F1For(world, BenchStartConfig(d, 2), 16), 3)});
+    std::fprintf(stderr, "[fig9] width %ld done\n", d);
+  }
+  width.Print();
+
+  std::printf("\n-- (c) batch size N_b --\n");
+  common::TablePrinter batch({"N_b", "F1"});
+  for (const int64_t b : {4, 8, 16, 32}) {
+    batch.AddRow({std::to_string(b),
+                  common::TablePrinter::Num(
+                      F1For(world, BenchStartConfig(32, 2), b), 3)});
+    std::fprintf(stderr, "[fig9] batch %ld done\n", b);
+  }
+  batch.Print();
+
+  std::printf("\npaper-shape check: rise-then-saturate/dip over depth and "
+              "width; moderate batch sizes best.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Reproduces Table II: overall performance of the nine models on the three
+// downstream tasks (travel-time estimation, trajectory classification,
+// most-similar trajectory search) over the BJ-like and Porto-like datasets.
+//
+// Paper shape to check: START best on every metric; Trembr the best baseline
+// (the only time-aware one); two-stage models (PIM/Toast) and plain
+// sequence models (Transformer/BERT, PIM-TF) trail, especially on search.
+// Absolute values differ from the paper (synthetic data, ~500x smaller).
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "sim/search.h"
+
+using namespace start;
+
+namespace {
+
+struct Row {
+  double mae = 0, mape = 0, rmse = 0;
+  double cls1 = 0, cls2 = 0, cls3 = 0;  // ACC/F1/AUC or Micro/Macro/Recall@5
+  double mr = 0, hr1 = 0, hr5 = 0;
+};
+
+Row EvaluateModel(bench::ModelKind kind, const bench::CityWorld& world,
+                  bool binary_task) {
+  Row row;
+  const auto task_config = bench::DefaultTaskConfig();
+  // Each task starts from the same pre-trained weights: the runner is
+  // rebuilt per task and PretrainRunner restores the cached checkpoint.
+  {
+    auto runner = bench::MakeRunner(kind, world);
+    bench::PretrainRunner(&runner, world, bench::Table2PretrainEpochs(), "t2");
+    const auto eta = eval::FinetuneEta(runner.encoder(),
+                                       world.dataset->train(),
+                                       world.dataset->test(), task_config);
+    row.mae = eta.metrics.mae;
+    row.mape = eta.metrics.mape;
+    row.rmse = eta.metrics.rmse;
+  }
+  {
+    auto runner = bench::MakeRunner(kind, world);
+    bench::PretrainRunner(&runner, world, bench::Table2PretrainEpochs(), "t2");
+    if (binary_task) {
+      const auto cls = eval::FinetuneClassification(
+          runner.encoder(), world.dataset->train(), world.dataset->test(),
+          bench::OccupancyLabel, 2, 1, task_config);
+      row.cls1 = cls.accuracy;
+      row.cls2 = cls.f1;
+      row.cls3 = cls.auc;
+    } else {
+      const auto cls = eval::FinetuneClassification(
+          runner.encoder(), world.dataset->train(), world.dataset->test(),
+          bench::DriverLabel, world.num_drivers, 5, task_config);
+      row.cls1 = cls.micro_f1;
+      row.cls2 = cls.macro_f1;
+      row.cls3 = cls.recall_at_k;
+    }
+  }
+  {
+    auto runner = bench::MakeRunner(kind, world);
+    bench::PretrainRunner(&runner, world, bench::Table2PretrainEpochs(), "t2");
+    const auto sim_data = bench::MakeSimilarityData(
+        world, /*num_queries=*/40, /*num_negatives=*/240);
+    const auto q = runner.encoder()->EmbedAll(sim_data.queries,
+                                              eval::EncodeMode::kFull);
+    const auto db = runner.encoder()->EmbedAll(sim_data.database,
+                                               eval::EncodeMode::kFull);
+    const auto metrics = sim::MostSimilarSearchEmbeddings(
+        q, static_cast<int64_t>(sim_data.queries.size()), db,
+        static_cast<int64_t>(sim_data.database.size()),
+        runner.encoder()->dim(), sim_data.gt_index);
+    row.mr = metrics.mean_rank;
+    row.hr1 = metrics.hr_at_1;
+    row.hr5 = metrics.hr_at_5;
+  }
+  return row;
+}
+
+void RunWorld(const bench::CityWorld& world, bool binary_task) {
+  using common::TablePrinter;
+  std::printf("\n--- %s ---\n", world.name.c_str());
+  const char* c1 = binary_task ? "ACC^" : "MiF1^";
+  const char* c2 = binary_task ? "F1^" : "MaF1^";
+  const char* c3 = binary_task ? "AUC^" : "Rec@5^";
+  TablePrinter table({"Model", "MAEv", "MAPE(%)v", "RMSEv", c1, c2, c3,
+                      "MRv", "HR@1^", "HR@5^"});
+  std::map<std::string, Row> rows;
+  for (const auto kind : bench::AllModels()) {
+    common::Stopwatch watch;
+    const Row row = EvaluateModel(kind, world, binary_task);
+    rows[bench::ModelName(kind)] = row;
+    table.AddRow({bench::ModelName(kind), TablePrinter::Num(row.mae, 3),
+                  TablePrinter::Num(row.mape, 2),
+                  TablePrinter::Num(row.rmse, 3),
+                  TablePrinter::Num(row.cls1, 3),
+                  TablePrinter::Num(row.cls2, 3),
+                  TablePrinter::Num(row.cls3, 3),
+                  TablePrinter::Num(row.mr, 2),
+                  TablePrinter::Num(row.hr1, 3),
+                  TablePrinter::Num(row.hr5, 3)});
+    std::fprintf(stderr, "[table2] %s/%s done in %.1fs\n",
+                 world.name.c_str(), bench::ModelName(kind).c_str(),
+                 watch.ElapsedSeconds());
+  }
+  table.Print();
+  // Improvement of START over the best baseline, as the paper reports.
+  const Row& start_row = rows["START"];
+  Row best;
+  best.mae = best.mape = best.rmse = 1e18;
+  best.mr = 1e18;
+  for (const auto& [name, row] : rows) {
+    if (name == "START") continue;
+    best.mae = std::min(best.mae, row.mae);
+    best.mape = std::min(best.mape, row.mape);
+    best.rmse = std::min(best.rmse, row.rmse);
+    best.cls1 = std::max(best.cls1, row.cls1);
+    best.cls2 = std::max(best.cls2, row.cls2);
+    best.cls3 = std::max(best.cls3, row.cls3);
+    best.mr = std::min(best.mr, row.mr);
+    best.hr1 = std::max(best.hr1, row.hr1);
+    best.hr5 = std::max(best.hr5, row.hr5);
+  }
+  auto improve_down = [](double ours, double theirs) {
+    return 100.0 * (theirs - ours) / theirs;
+  };
+  auto improve_up = [](double ours, double theirs) {
+    return theirs > 0 ? 100.0 * (ours - theirs) / theirs : 0.0;
+  };
+  std::printf("Improve vs best baseline: MAE %+.1f%%, MAPE %+.1f%%, RMSE "
+              "%+.1f%%, %s %+.1f%%, %s %+.1f%%, %s %+.1f%%, MR %+.1f%%, "
+              "HR@1 %+.1f%%, HR@5 %+.1f%%\n",
+              improve_down(start_row.mae, best.mae),
+              improve_down(start_row.mape, best.mape),
+              improve_down(start_row.rmse, best.rmse), c1,
+              improve_up(start_row.cls1, best.cls1), c2,
+              improve_up(start_row.cls2, best.cls2), c3,
+              improve_up(start_row.cls3, best.cls3),
+              improve_down(start_row.mr, best.mr),
+              improve_up(start_row.hr1, best.hr1),
+              improve_up(start_row.hr5, best.hr5));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table II: overall performance on three downstream tasks "
+              "===\n");
+  std::printf("metric suffix: v = lower is better, ^ = higher is better\n");
+  {
+    const auto bj = bench::MakeBjWorld();
+    RunWorld(bj, /*binary_task=*/true);
+  }
+  {
+    const auto porto = bench::MakePortoWorld();
+    RunWorld(porto, /*binary_task=*/false);
+  }
+  std::printf("\npaper-shape check: START leads most metrics (notably MR and "
+              "MAPE); Trembr is the strongest baseline; PIM-TF is the "
+              "weakest.\n");
+  return 0;
+}

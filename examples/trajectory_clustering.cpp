@@ -1,0 +1,87 @@
+// Trajectory clustering demo — the downstream application motivating DETECT
+// and E2DTC (Sec. V-A). With generic pre-trained representations, clustering
+// reduces to k-means in embedding space; the clusters recover latent trip
+// structure (here: the simulated drivers) without any labels.
+#include <cstdio>
+
+#include "core/pretrain.h"
+#include "core/start_encoder.h"
+#include "data/dataset.h"
+#include "roadnet/synthetic_city.h"
+#include "sim/kmeans.h"
+#include "traj/trip_generator.h"
+
+int main() {
+  using namespace start;
+  std::printf("=== trajectory clustering example ===\n");
+  const roadnet::RoadNetwork net = roadnet::BuildSyntheticCity(
+      {.grid_width = 8, .grid_height = 8, .seed = 45});
+  traj::TrafficModel traffic(&net, {});
+  traj::TripGenerator::Config trip_config;
+  trip_config.num_drivers = 6;
+  trip_config.num_days = 12;
+  trip_config.driver_preference = 0.8;
+  trip_config.seed = 46;
+  traj::TripGenerator generator(&traffic, trip_config);
+  const auto dataset = data::TrajDataset::FromCorpus(
+      net, generator.Generate(), {.min_length = 6});
+  const auto transfer = roadnet::TransferProbability::FromTrajectories(
+      net, dataset.TrainRoadSequences());
+
+  core::StartConfig config;
+  config.d = 32;
+  config.gat_heads = {4, 4, 1};
+  config.encoder_layers = 2;
+  config.encoder_heads = 4;
+  config.max_len = 96;
+  common::Rng rng(47);
+  core::StartModel model(config, &net, &transfer, &rng);
+  std::printf("pre-training (no labels are ever used)...\n");
+  core::PretrainConfig pretrain;
+  pretrain.epochs = 10;
+  pretrain.batch_size = 16;
+  pretrain.lr = 2e-3;
+  core::Pretrain(&model, dataset.train(), &traffic, pretrain);
+
+  core::StartEncoder encoder(&model);
+  const auto test = dataset.test();
+  const auto embeddings = encoder.EmbedAll(test, eval::EncodeMode::kFull);
+  const int64_t k = dataset.num_drivers();
+  std::printf("k-means with k = %ld over %zu test embeddings...\n", k,
+              test.size());
+  common::Rng km_rng(48);
+  const auto clusters = sim::KMeans(
+      embeddings, static_cast<int64_t>(test.size()), config.d, k, &km_rng);
+  std::printf("converged in %ld iterations, inertia %.2f\n",
+              clusters.iterations, clusters.inertia);
+
+  std::vector<int64_t> driver_labels;
+  driver_labels.reserve(test.size());
+  for (const auto& t : test) driver_labels.push_back(t.driver_id);
+  const auto quality =
+      sim::EvaluateClusters(clusters.assignments, driver_labels);
+  std::printf("cluster quality vs (hidden) driver identity: purity %.3f, "
+              "NMI %.3f\n",
+              quality.purity, quality.nmi);
+  std::printf("(chance purity for %ld balanced drivers would be ~%.3f)\n", k,
+              1.0 / static_cast<double>(k));
+
+  // Random-embedding control: same pipeline without pre-training.
+  common::Rng rng2(49);
+  core::StartModel fresh(config, &net, &transfer, &rng2);
+  core::StartEncoder fresh_encoder(&fresh);
+  const auto fresh_emb = fresh_encoder.EmbedAll(test, eval::EncodeMode::kFull);
+  common::Rng km_rng2(48);
+  const auto fresh_clusters = sim::KMeans(
+      fresh_emb, static_cast<int64_t>(test.size()), config.d, k, &km_rng2);
+  const auto fresh_quality =
+      sim::EvaluateClusters(fresh_clusters.assignments, driver_labels);
+  std::printf("control (random-init encoder): purity %.3f, NMI %.3f\n",
+              fresh_quality.purity, fresh_quality.nmi);
+  std::printf("\nboth clusterings beat chance: the embeddings organise trips "
+              "by route structure without labels. (At this miniature scale "
+              "an untrained encoder already propagates road identity, so "
+              "pre-training's edge shows mainly in the fine-tuned tasks — "
+              "see bench_fig6_train_size.)\n");
+  return 0;
+}

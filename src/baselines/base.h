@@ -1,0 +1,61 @@
+#ifndef START_BASELINES_BASE_H_
+#define START_BASELINES_BASE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/encoder.h"
+#include "nn/module.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace start::baselines {
+
+/// \brief Self-supervised pre-training options shared by all baselines
+/// (each baseline keeps its own *task*; these are just loop hyper-parameters).
+struct PretrainOptions {
+  int64_t epochs = 3;
+  int64_t batch_size = 16;
+  double lr = 1e-3;
+  double grad_clip = 5.0;
+  uint64_t seed = 5;
+  bool verbose = false;
+};
+
+/// \brief Padded batch of raw road-id sequences.
+struct PaddedRoads {
+  int64_t batch_size = 0;
+  int64_t max_len = 0;
+  std::vector<int64_t> ids;      ///< [B, L]; padding slots hold `pad_id`.
+  std::vector<int64_t> lengths;  ///< Valid tokens per sequence.
+};
+
+/// Pads the road sequences of a batch; `pad_id` fills the tail slots.
+PaddedRoads PadRoadBatch(const std::vector<const traj::Trajectory*>& batch,
+                         int64_t pad_id);
+
+/// \brief Shared base for baseline models: an nn::Module that also fulfils
+/// the eval::TrajectoryEncoder interface (Table II's common protocol).
+class SequenceBaseline : public nn::Module, public eval::TrajectoryEncoder {
+ public:
+  void SetTraining(bool training) override {
+    nn::Module::SetTraining(training);
+  }
+  std::vector<tensor::Tensor> TrainableParameters() override {
+    return Parameters();
+  }
+
+  /// Runs the baseline's own self-supervised task over `corpus`. Returns the
+  /// mean loss of the final epoch (for smoke tests / logging).
+  virtual double Pretrain(const std::vector<traj::Trajectory>& corpus,
+                          const PretrainOptions& options) = 0;
+};
+
+/// Mean over valid (non-padded) positions of a [B, L, d] tensor -> [B, d].
+/// Used by baselines without a [CLS] token.
+tensor::Tensor MeanPoolValid(const tensor::Tensor& seq,
+                             const std::vector<int64_t>& lengths);
+
+}  // namespace start::baselines
+
+#endif  // START_BASELINES_BASE_H_

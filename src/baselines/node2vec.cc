@@ -1,0 +1,110 @@
+#include "baselines/node2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace start::baselines {
+
+namespace {
+
+/// One biased second-order walk step (node2vec Sec. 3.2): weight 1/p to
+/// return to `prev`, 1 to nodes adjacent to `prev`, 1/q otherwise.
+int64_t NextStep(const roadnet::RoadNetwork& net, int64_t prev, int64_t cur,
+                 double p, double q, common::Rng* rng) {
+  const auto neighbors = net.OutNeighbors(cur);
+  if (neighbors.empty()) return -1;
+  std::vector<double> weights(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const int64_t nxt = neighbors[i];
+    if (nxt == prev) {
+      weights[i] = 1.0 / p;
+    } else if (prev >= 0 && net.HasEdge(prev, nxt)) {
+      weights[i] = 1.0;
+    } else {
+      weights[i] = 1.0 / q;
+    }
+  }
+  return neighbors[static_cast<size_t>(rng->Categorical(weights))];
+}
+
+}  // namespace
+
+std::vector<float> TrainNode2Vec(const roadnet::RoadNetwork& net,
+                                 const Node2VecConfig& config) {
+  START_CHECK(net.finalized());
+  START_CHECK_GT(config.dim, 0);
+  const int64_t v = net.num_segments();
+  const int64_t d = config.dim;
+  common::Rng rng(config.seed);
+
+  // Input and output embeddings, uniform init as word2vec.
+  std::vector<float> in(static_cast<size_t>(v * d));
+  std::vector<float> out(static_cast<size_t>(v * d), 0.0f);
+  const float scale = 0.5f / static_cast<float>(d);
+  for (auto& x : in) x = static_cast<float>(rng.Uniform(-scale, scale));
+
+  // Pre-generate walks once; reuse across epochs.
+  std::vector<std::vector<int64_t>> walks;
+  walks.reserve(static_cast<size_t>(v * config.walks_per_node));
+  for (int64_t w = 0; w < config.walks_per_node; ++w) {
+    for (int64_t start = 0; start < v; ++start) {
+      std::vector<int64_t> walk{start};
+      int64_t prev = -1, cur = start;
+      for (int64_t s = 1; s < config.walk_length; ++s) {
+        const int64_t nxt = NextStep(net, prev, cur, config.p, config.q, &rng);
+        if (nxt < 0) break;
+        walk.push_back(nxt);
+        prev = cur;
+        cur = nxt;
+      }
+      if (walk.size() > 1) walks.push_back(std::move(walk));
+    }
+  }
+
+  std::vector<float> grad_center(static_cast<size_t>(d));
+  const auto sigmoid = [](float x) {
+    return 1.0f / (1.0f + std::exp(-x));
+  };
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const float lr = static_cast<float>(
+        config.lr * (1.0 - static_cast<double>(epoch) /
+                               static_cast<double>(config.epochs)));
+    rng.Shuffle(&walks);
+    for (const auto& walk : walks) {
+      const int64_t n = static_cast<int64_t>(walk.size());
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t center = walk[static_cast<size_t>(i)];
+        float* wc = in.data() + center * d;
+        const int64_t lo = std::max<int64_t>(0, i - config.window);
+        const int64_t hi = std::min(n - 1, i + config.window);
+        for (int64_t j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          // Positive context plus negative samples (label 1 / 0).
+          for (int64_t s = 0; s <= config.negatives; ++s) {
+            const int64_t target =
+                s == 0 ? walk[static_cast<size_t>(j)] : rng.UniformInt(v);
+            const float label = s == 0 ? 1.0f : 0.0f;
+            float* wt = out.data() + target * d;
+            float dot = 0.0f;
+            for (int64_t k = 0; k < d; ++k) dot += wc[k] * wt[k];
+            const float g = (sigmoid(dot) - label) * lr;
+            for (int64_t k = 0; k < d; ++k) {
+              grad_center[static_cast<size_t>(k)] += g * wt[k];
+              wt[k] -= g * wc[k];
+            }
+          }
+          for (int64_t k = 0; k < d; ++k) {
+            wc[k] -= grad_center[static_cast<size_t>(k)];
+          }
+        }
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace start::baselines

@@ -1,0 +1,36 @@
+#ifndef START_BASELINES_NODE2VEC_H_
+#define START_BASELINES_NODE2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace start::baselines {
+
+/// \brief node2vec [19] hyper-parameters.
+struct Node2VecConfig {
+  int64_t dim = 64;
+  int64_t walk_length = 20;
+  int64_t walks_per_node = 4;
+  double p = 1.0;  ///< Return parameter.
+  double q = 2.0;  ///< In-out parameter.
+  int64_t window = 4;
+  int64_t negatives = 4;
+  int64_t epochs = 2;
+  double lr = 0.025;
+  uint64_t seed = 13;
+};
+
+/// \brief Trains node2vec road embeddings over the road graph with biased
+/// second-order random walks and skip-gram negative sampling.
+///
+/// This is the road-representation substrate of the PIM and Toast baselines
+/// and of the "w/ Node2vec" ablation (Fig. 7). Returns a row-major [V, dim]
+/// table.
+std::vector<float> TrainNode2Vec(const roadnet::RoadNetwork& net,
+                                 const Node2VecConfig& config);
+
+}  // namespace start::baselines
+
+#endif  // START_BASELINES_NODE2VEC_H_

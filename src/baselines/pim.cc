@@ -1,0 +1,158 @@
+#include "baselines/pim.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace start::baselines {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+std::vector<const traj::Trajectory*> SliceBatch(
+    const std::vector<traj::Trajectory>& corpus,
+    const std::vector<int64_t>& order, int64_t begin, int64_t end) {
+  std::vector<const traj::Trajectory*> out;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    out.push_back(
+        &corpus[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Pim::Pim(const PimConfig& config, const roadnet::RoadNetwork* net,
+         common::Rng* rng)
+    : d_(config.d), net_(net), pad_id_(net->num_segments()) {
+  embedding_ =
+      std::make_unique<nn::Embedding>(net->num_segments() + 1, d_, rng);
+  if (!config.road_embedding_init.empty()) {
+    START_CHECK_EQ(static_cast<int64_t>(config.road_embedding_init.size()),
+                   net->num_segments() * d_);
+    std::copy(config.road_embedding_init.begin(),
+              config.road_embedding_init.end(), embedding_->table().data());
+  }
+  lstm_ = std::make_unique<nn::Lstm>(d_, d_, rng);
+  RegisterModule("embedding", embedding_.get());
+  RegisterModule("lstm", lstm_.get());
+}
+
+Tensor Pim::EncodeBatch(const std::vector<const traj::Trajectory*>& batch,
+                        eval::EncodeMode mode) {
+  (void)mode;
+  const PaddedRoads padded = PadRoadBatch(batch, pad_id_);
+  const Tensor emb = tensor::Reshape(
+      embedding_->Forward(padded.ids),
+      Shape({padded.batch_size, padded.max_len, d_}));
+  return lstm_->Forward(emb, padded.lengths).last_hidden;
+}
+
+double Pim::Pretrain(const std::vector<traj::Trajectory>& corpus,
+                     const PretrainOptions& options) {
+  START_CHECK(!corpus.empty());
+  common::Rng rng(options.seed);
+  nn::AdamW opt(Parameters(), options.lr);
+  SetTraining(true);
+  std::vector<int64_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  const int64_t n = static_cast<int64_t>(corpus.size());
+  double last = 0.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin + 1 < n; begin += options.batch_size) {
+      const int64_t end = std::min(n, begin + options.batch_size);
+      const auto batch = SliceBatch(corpus, order, begin, end);
+      const PaddedRoads padded = PadRoadBatch(batch, pad_id_);
+      const Tensor emb = tensor::Reshape(
+          embedding_->Forward(padded.ids),
+          Shape({padded.batch_size, padded.max_len, d_}));
+      const nn::Lstm::Output out = lstm_->Forward(emb, padded.lengths);
+      // Mutual information maximisation: global (last hidden) vs local step
+      // outputs, in-batch negatives (Sec. IV-B / [18]).
+      Tensor loss =
+          nn::InfoNceLoss(out.last_hidden, out.outputs, padded.lengths);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(Parameters(), options.grad_clip);
+      opt.Step();
+      total += loss.item();
+      ++batches;
+    }
+    last = total / std::max<int64_t>(1, batches);
+    if (options.verbose) {
+      START_LOG(Info) << "pim epoch " << epoch << " infonce " << last;
+    }
+  }
+  return last;
+}
+
+PimTf::PimTf(const PimConfig& config, const roadnet::RoadNetwork* net,
+             common::Rng* rng) {
+  TransformerBaselineConfig tf_config;
+  tf_config.d = config.d;
+  tf_config.layers = config.layers;
+  tf_config.heads = config.heads;
+  tf_config.max_len = config.max_len;
+  tf_config.road_embedding_init = config.road_embedding_init;
+  backbone_ =
+      std::make_unique<TokenTransformer>(tf_config, net->num_segments(), rng);
+  RegisterModule("backbone", backbone_.get());
+}
+
+Tensor PimTf::EncodeBatch(const std::vector<const traj::Trajectory*>& batch,
+                          eval::EncodeMode mode) {
+  (void)mode;
+  const PaddedRoads padded = PadRoadBatch(batch, backbone_->pad_id());
+  const Tensor seq = backbone_->Forward(padded.ids, padded.lengths,
+                                        padded.batch_size, padded.max_len);
+  return MeanPoolValid(seq, padded.lengths);
+}
+
+double PimTf::Pretrain(const std::vector<traj::Trajectory>& corpus,
+                       const PretrainOptions& options) {
+  START_CHECK(!corpus.empty());
+  common::Rng rng(options.seed);
+  nn::AdamW opt(Parameters(), options.lr);
+  SetTraining(true);
+  std::vector<int64_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  const int64_t n = static_cast<int64_t>(corpus.size());
+  double last = 0.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin + 1 < n; begin += options.batch_size) {
+      const int64_t end = std::min(n, begin + options.batch_size);
+      const auto batch = SliceBatch(corpus, order, begin, end);
+      const PaddedRoads padded = PadRoadBatch(batch, backbone_->pad_id());
+      const Tensor seq = backbone_->Forward(padded.ids, padded.lengths,
+                                            padded.batch_size, padded.max_len);
+      const Tensor global = MeanPoolValid(seq, padded.lengths);
+      Tensor loss = nn::InfoNceLoss(global, seq, padded.lengths);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(Parameters(), options.grad_clip);
+      opt.Step();
+      total += loss.item();
+      ++batches;
+    }
+    last = total / std::max<int64_t>(1, batches);
+    if (options.verbose) {
+      START_LOG(Info) << "pim-tf epoch " << epoch << " infonce " << last;
+    }
+  }
+  return last;
+}
+
+}  // namespace start::baselines

@@ -1,0 +1,324 @@
+#include "baselines/transformer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "nn/init.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace start::baselines {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// TokenTransformer
+// ---------------------------------------------------------------------------
+
+TokenTransformer::TokenTransformer(const TransformerBaselineConfig& config,
+                                   int64_t num_roads, common::Rng* rng)
+    : d_(config.d), num_roads_(num_roads), dropout_(config.dropout) {
+  embedding_ = std::make_unique<nn::Embedding>(num_roads + 3, d_, rng);
+  if (!config.road_embedding_init.empty()) {
+    START_CHECK_EQ(static_cast<int64_t>(config.road_embedding_init.size()),
+                   num_roads * d_);
+    std::copy(config.road_embedding_init.begin(),
+              config.road_embedding_init.end(), embedding_->table().data());
+  }
+  RegisterModule("embedding", embedding_.get());
+  positional_ = nn::SinusoidalPositionalEncoding(config.max_len + 1, d_);
+  for (int64_t l = 0; l < config.layers; ++l) {
+    layers_.push_back(std::make_unique<nn::TransformerEncoderLayer>(
+        d_, config.heads, d_, rng, config.dropout));
+    RegisterModule("layer" + std::to_string(l), layers_.back().get());
+  }
+}
+
+Tensor TokenTransformer::Forward(const std::vector<int64_t>& ids,
+                                 const std::vector<int64_t>& lengths,
+                                 int64_t batch, int64_t max_len) const {
+  START_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * max_len);
+  Tensor x = embedding_->Forward(ids);  // [B*L, d]
+  std::vector<int64_t> pos_ids(ids.size());
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < max_len; ++i) {
+      pos_ids[static_cast<size_t>(b * max_len + i)] = i;
+    }
+  }
+  x = tensor::Add(x, tensor::GatherRows(positional_, pos_ids));
+  x = tensor::Reshape(x, Shape({batch, max_len, d_}));
+  x = tensor::Dropout(x, dropout_, training());
+  const Tensor bias = nn::MakePaddingBias(lengths, max_len);
+  for (const auto& layer : layers_) x = layer->Forward(x, bias);
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// TransformerMlm
+// ---------------------------------------------------------------------------
+
+TransformerMlm::TransformerMlm(const TransformerBaselineConfig& config,
+                               const roadnet::RoadNetwork* net,
+                               common::Rng* rng)
+    : net_(net) {
+  backbone_ =
+      std::make_unique<TokenTransformer>(config, net->num_segments(), rng);
+  mlm_head_ =
+      std::make_unique<nn::Linear>(config.d, net->num_segments(), rng);
+  RegisterModule("backbone", backbone_.get());
+  RegisterModule("mlm_head", mlm_head_.get());
+}
+
+Tensor TransformerMlm::EncodeBatch(
+    const std::vector<const traj::Trajectory*>& batch,
+    eval::EncodeMode mode) {
+  (void)mode;
+  const PaddedRoads padded = PadRoadBatch(batch, backbone_->pad_id());
+  const Tensor seq = backbone_->Forward(padded.ids, padded.lengths,
+                                        padded.batch_size, padded.max_len);
+  return MeanPoolValid(seq, padded.lengths);
+}
+
+void TransformerMlm::MaskTokens(std::vector<int64_t>* ids, int64_t batch,
+                                int64_t max_len,
+                                const std::vector<int64_t>& lengths,
+                                double ratio, common::Rng* rng,
+                                std::vector<int64_t>* positions,
+                                std::vector<int64_t>* targets) const {
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < lengths[static_cast<size_t>(b)]; ++i) {
+      if (!rng->Bernoulli(ratio)) continue;
+      const size_t idx = static_cast<size_t>(b * max_len + i);
+      positions->push_back(static_cast<int64_t>(idx));
+      targets->push_back((*ids)[idx]);
+      (*ids)[idx] = backbone_->mask_id();
+    }
+  }
+}
+
+double TransformerMlm::MlmStep(
+    const std::vector<const traj::Trajectory*>& batch, nn::AdamW* opt,
+    common::Rng* rng, double grad_clip) {
+  PaddedRoads padded = PadRoadBatch(batch, backbone_->pad_id());
+  std::vector<int64_t> positions, targets;
+  MaskTokens(&padded.ids, padded.batch_size, padded.max_len, padded.lengths,
+             0.15, rng, &positions, &targets);
+  if (positions.empty()) return 0.0;
+  const Tensor seq = backbone_->Forward(padded.ids, padded.lengths,
+                                        padded.batch_size, padded.max_len);
+  const Tensor flat = tensor::Reshape(
+      seq, Shape({padded.batch_size * padded.max_len, backbone_->d()}));
+  const Tensor logits =
+      mlm_head_->Forward(tensor::GatherRows(flat, positions));
+  Tensor loss = tensor::CrossEntropyWithLogits(logits, targets);
+  opt->ZeroGrad();
+  loss.Backward();
+  nn::ClipGradNorm(Parameters(), grad_clip);
+  opt->Step();
+  return loss.item();
+}
+
+double TransformerMlm::Pretrain(const std::vector<traj::Trajectory>& corpus,
+                                const PretrainOptions& options) {
+  START_CHECK(!corpus.empty());
+  common::Rng rng(options.seed);
+  nn::AdamW opt(Parameters(), options.lr);
+  SetTraining(true);
+  std::vector<int64_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  const int64_t n = static_cast<int64_t>(corpus.size());
+  double last = 0.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin + 1 < n; begin += options.batch_size) {
+      const int64_t end = std::min(n, begin + options.batch_size);
+      std::vector<const traj::Trajectory*> batch;
+      for (int64_t i = begin; i < end; ++i) {
+        batch.push_back(
+            &corpus[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+      }
+      total += MlmStep(batch, &opt, &rng, options.grad_clip);
+      ++batches;
+    }
+    last = total / std::max<int64_t>(1, batches);
+    if (options.verbose) {
+      START_LOG(Info) << "transformer epoch " << epoch << " mlm " << last;
+    }
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// Bert
+// ---------------------------------------------------------------------------
+
+Bert::Bert(const TransformerBaselineConfig& config,
+           const roadnet::RoadNetwork* net, common::Rng* rng)
+    : TransformerMlm(config, net, rng) {
+  order_head_ = std::make_unique<nn::Linear>(config.d, 1, rng);
+  RegisterModule("order_head", order_head_.get());
+}
+
+Tensor Bert::EncodeCls(const std::vector<int64_t>& ids, int64_t batch,
+                       int64_t max_len,
+                       const std::vector<int64_t>& lengths) const {
+  // Prepend [CLS] to every sequence.
+  const int64_t l1 = max_len + 1;
+  std::vector<int64_t> with_cls(static_cast<size_t>(batch * l1),
+                                backbone_->pad_id());
+  std::vector<int64_t> lens(lengths.size());
+  for (int64_t b = 0; b < batch; ++b) {
+    with_cls[static_cast<size_t>(b * l1)] = backbone_->cls_id();
+    for (int64_t i = 0; i < max_len; ++i) {
+      with_cls[static_cast<size_t>(b * l1 + i + 1)] =
+          ids[static_cast<size_t>(b * max_len + i)];
+    }
+    lens[static_cast<size_t>(b)] = lengths[static_cast<size_t>(b)] + 1;
+  }
+  const Tensor seq = backbone_->Forward(with_cls, lens, batch, l1);
+  return tensor::Reshape(tensor::Slice(seq, 1, 0, 1),
+                         Shape({batch, backbone_->d()}));
+}
+
+Tensor Bert::EncodeBatch(const std::vector<const traj::Trajectory*>& batch,
+                         eval::EncodeMode mode) {
+  (void)mode;
+  const PaddedRoads padded = PadRoadBatch(batch, backbone_->pad_id());
+  return EncodeCls(padded.ids, padded.batch_size, padded.max_len,
+                   padded.lengths);
+}
+
+double Bert::Pretrain(const std::vector<traj::Trajectory>& corpus,
+                      const PretrainOptions& options) {
+  START_CHECK(!corpus.empty());
+  common::Rng rng(options.seed);
+  nn::AdamW opt(Parameters(), options.lr);
+  SetTraining(true);
+  std::vector<int64_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  const int64_t n = static_cast<int64_t>(corpus.size());
+  double last = 0.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin + 1 < n; begin += options.batch_size) {
+      const int64_t end = std::min(n, begin + options.batch_size);
+      std::vector<const traj::Trajectory*> batch;
+      for (int64_t i = begin; i < end; ++i) {
+        batch.push_back(
+            &corpus[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+      }
+      // Task 1: MLM (one optimizer step).
+      total += MlmStep(batch, &opt, &rng, options.grad_clip);
+      // Task 2: segment order — swap the two halves for negatives.
+      PaddedRoads padded = PadRoadBatch(batch, backbone_->pad_id());
+      std::vector<float> labels(batch.size());
+      for (int64_t b = 0; b < padded.batch_size; ++b) {
+        const int64_t len = padded.lengths[static_cast<size_t>(b)];
+        const bool positive = rng.Bernoulli(0.5);
+        labels[static_cast<size_t>(b)] = positive ? 1.0f : 0.0f;
+        if (!positive) {
+          // (T2, T1): rotate the sequence around its midpoint.
+          const int64_t half = len / 2;
+          std::vector<int64_t> row(static_cast<size_t>(len));
+          for (int64_t i = 0; i < len; ++i) {
+            row[static_cast<size_t>(i)] =
+                padded.ids[static_cast<size_t>(b * padded.max_len +
+                                               (i + half) % len)];
+          }
+          for (int64_t i = 0; i < len; ++i) {
+            padded.ids[static_cast<size_t>(b * padded.max_len + i)] =
+                row[static_cast<size_t>(i)];
+          }
+        }
+      }
+      const Tensor cls = EncodeCls(padded.ids, padded.batch_size,
+                                   padded.max_len, padded.lengths);
+      Tensor loss = tensor::BceWithLogits(order_head_->Forward(cls), labels);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(Parameters(), options.grad_clip);
+      opt.Step();
+      total += loss.item();
+      ++batches;
+    }
+    last = total / std::max<int64_t>(1, batches);
+    if (options.verbose) {
+      START_LOG(Info) << "bert epoch " << epoch << " loss " << last;
+    }
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// Toast
+// ---------------------------------------------------------------------------
+
+Toast::Toast(const TransformerBaselineConfig& config,
+             const roadnet::RoadNetwork* net, common::Rng* rng)
+    : Bert(config, net, rng) {}
+
+double Toast::Pretrain(const std::vector<traj::Trajectory>& corpus,
+                       const PretrainOptions& options) {
+  START_CHECK(!corpus.empty());
+  common::Rng rng(options.seed);
+  nn::AdamW opt(Parameters(), options.lr);
+  SetTraining(true);
+  std::vector<int64_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  const int64_t n = static_cast<int64_t>(corpus.size());
+  double last = 0.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin + 1 < n; begin += options.batch_size) {
+      const int64_t end = std::min(n, begin + options.batch_size);
+      std::vector<const traj::Trajectory*> batch;
+      for (int64_t i = begin; i < end; ++i) {
+        batch.push_back(
+            &corpus[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+      }
+      // Task 1: MLM.
+      total += MlmStep(batch, &opt, &rng, options.grad_clip);
+      // Task 2: trajectory discrimination — corrupt half the batch by
+      // replacing 30% of roads with random roads.
+      PaddedRoads padded = PadRoadBatch(batch, backbone_->pad_id());
+      std::vector<float> labels(batch.size());
+      for (int64_t b = 0; b < padded.batch_size; ++b) {
+        const bool real = rng.Bernoulli(0.5);
+        labels[static_cast<size_t>(b)] = real ? 1.0f : 0.0f;
+        if (!real) {
+          const int64_t len = padded.lengths[static_cast<size_t>(b)];
+          for (int64_t i = 0; i < len; ++i) {
+            if (rng.Bernoulli(0.3)) {
+              padded.ids[static_cast<size_t>(b * padded.max_len + i)] =
+                  rng.UniformInt(net_->num_segments());
+            }
+          }
+        }
+      }
+      const Tensor cls = EncodeCls(padded.ids, padded.batch_size,
+                                   padded.max_len, padded.lengths);
+      Tensor loss = tensor::BceWithLogits(order_head_->Forward(cls), labels);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(Parameters(), options.grad_clip);
+      opt.Step();
+      total += loss.item();
+      ++batches;
+    }
+    last = total / std::max<int64_t>(1, batches);
+    if (options.verbose) {
+      START_LOG(Info) << "toast epoch " << epoch << " loss " << last;
+    }
+  }
+  return last;
+}
+
+}  // namespace start::baselines

@@ -1,0 +1,47 @@
+#ifndef START_COMMON_CHECK_H_
+#define START_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace start::common::internal {
+
+/// Formats the failure banner and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace start::common::internal
+
+/// \brief Aborts with a diagnostic if `cond` is false.
+///
+/// Used for programming errors (invariant violations, API misuse); recoverable
+/// conditions use Status/Result instead. Enabled in all build types: the checks
+/// guard memory-safety-relevant invariants (e.g. tensor shape agreement).
+#define START_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::start::common::internal::CheckFailed(__FILE__, __LINE__, #cond, "");  \
+    }                                                                         \
+  } while (0)
+
+/// START_CHECK with an extra streamed message: START_CHECK_MSG(a == b, a << " vs " << b).
+#define START_CHECK_MSG(cond, stream_expr)                                     \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::ostringstream _oss;                                                 \
+      _oss << stream_expr; /* NOLINT */                                        \
+      ::start::common::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                             _oss.str());                      \
+    }                                                                          \
+  } while (0)
+
+#define START_CHECK_EQ(a, b) START_CHECK_MSG((a) == (b), (a) << " != " << (b))
+#define START_CHECK_NE(a, b) START_CHECK_MSG((a) != (b), (a) << " == " << (b))
+#define START_CHECK_LT(a, b) START_CHECK_MSG((a) < (b), (a) << " >= " << (b))
+#define START_CHECK_LE(a, b) START_CHECK_MSG((a) <= (b), (a) << " > " << (b))
+#define START_CHECK_GT(a, b) START_CHECK_MSG((a) > (b), (a) << " <= " << (b))
+#define START_CHECK_GE(a, b) START_CHECK_MSG((a) >= (b), (a) << " < " << (b))
+
+#endif  // START_COMMON_CHECK_H_

@@ -1,0 +1,18 @@
+#ifndef START_COMMON_ENV_H_
+#define START_COMMON_ENV_H_
+
+#include <string>
+
+namespace start::common {
+
+/// Reads an environment variable as a double, falling back to `fallback` when
+/// unset or unparsable. Used by the bench harness for scale knobs
+/// (e.g. START_BENCH_SCALE=2 doubles dataset sizes / epochs).
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// Reads an environment variable as an int64, falling back to `fallback`.
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+
+}  // namespace start::common
+
+#endif  // START_COMMON_ENV_H_

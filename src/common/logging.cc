@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace start::common {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  (void)file;
+  (void)line;
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_level) return;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf;
+  localtime_r(&tt, &tm_buf);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
+  std::fprintf(stderr, "[%s %s] %s\n", ts, LevelTag(level_),
+               stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace start::common

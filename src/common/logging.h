@@ -1,0 +1,46 @@
+#ifndef START_COMMON_LOGGING_H_
+#define START_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace start::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// RAII sink: accumulates a message and emits it (with a timestamp and level
+/// tag) on destruction if the level passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace start::common
+
+#define START_LOG(level)                                            \
+  ::start::common::internal::LogMessage(                            \
+      ::start::common::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // START_COMMON_LOGGING_H_

@@ -1,0 +1,139 @@
+#ifndef START_COMMON_STATUS_H_
+#define START_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace start::common {
+
+/// \brief Error category carried by a Status.
+///
+/// Mirrors the RocksDB/Arrow convention: a small closed set of machine-readable
+/// codes plus a free-form human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kFailedPrecondition = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// \brief Returns the canonical name of a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus message.
+///
+/// The library does not throw exceptions across public API boundaries; fallible
+/// operations return Status (or Result<T> for operations that produce a value).
+/// Programming errors are handled with START_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: batch size must be > 0".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Analogous to arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result aborts (programming error), so callers must test ok() first
+/// or use the START_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (by design, mirroring arrow::Result).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status (OK if the Result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::move(std::get<T>(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace start::common
+
+/// Propagates an error status out of the current function.
+#define START_RETURN_IF_ERROR(expr)                                \
+  do {                                                             \
+    ::start::common::Status _st = (expr);                          \
+    if (!_st.ok()) return _st;                                     \
+  } while (0)
+
+#define START_CONCAT_IMPL(x, y) x##y
+#define START_CONCAT(x, y) START_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value into `lhs` (which may be a declaration).
+#define START_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto START_CONCAT(_result_, __LINE__) = (rexpr);                 \
+  if (!START_CONCAT(_result_, __LINE__).ok())                      \
+    return START_CONCAT(_result_, __LINE__).status();              \
+  lhs = std::move(START_CONCAT(_result_, __LINE__)).value()
+
+#endif  // START_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef START_COMMON_STOPWATCH_H_
+#define START_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace start::common {
+
+/// \brief Simple wall-clock stopwatch for timing experiments.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace start::common
+
+#endif  // START_COMMON_STOPWATCH_H_

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace start::common {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  START_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  START_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+  std::ostringstream os;
+  os << render_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) os << render_row(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::printf("%s", ToString().c_str()); }
+
+}  // namespace start::common

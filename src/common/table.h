@@ -1,0 +1,37 @@
+#ifndef START_COMMON_TABLE_H_
+#define START_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace start::common {
+
+/// \brief Formats aligned text tables for the benchmark harness.
+///
+/// Every bench binary prints its reproduction of a paper table/figure through
+/// this class so the output is uniform and diffable (a markdown-ish pipe table).
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace start::common
+
+#endif  // START_COMMON_TABLE_H_

@@ -1,0 +1,45 @@
+#ifndef START_CORE_CONFIG_H_
+#define START_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace start::core {
+
+/// \brief Hyper-parameters of the START model (defaults follow Sec. IV-C1,
+/// with the width scaled by the caller; the paper uses d = 256).
+///
+/// The boolean flags implement the ablation variants of Fig. 7; all default
+/// to the full model.
+struct StartConfig {
+  int64_t d = 64;            ///< Embedding size (paper: 256).
+  int64_t gat_layers = 3;    ///< L1.
+  /// Attention heads per TPE-GAT layer (paper: [8, 16, 1]). Each entry must
+  /// divide d.
+  std::vector<int64_t> gat_heads = {8, 16, 1};
+  int64_t encoder_layers = 6;  ///< L2 (paper: 6).
+  int64_t encoder_heads = 8;   ///< H2.
+  /// FFN hidden width; Eq. (11) uses W_F ∈ R^{d×d}, i.e. hidden = d.
+  int64_t ffn_dim = 0;  ///< 0 -> use d.
+  float dropout = 0.1f;
+  int64_t max_len = 128;          ///< Maximum trajectory length (Sec. IV-A).
+  int64_t interval_hidden = 8;    ///< Width of the Eq. (9) two-linear map.
+
+  // --- Ablation switches (Fig. 7) -----------------------------------------
+  bool use_tpe_gat = true;        ///< false = "w/o TPE-GAT" (random embeddings).
+  bool use_transfer_prob = true;  ///< false = "w/o TransProb" (standard GAT).
+  bool use_time_embedding = true; ///< false = "w/o Time Emb".
+  bool use_time_interval = true;  ///< false = "w/o Time Interval".
+  bool interval_use_hops = false; ///< true = "w/ Hop": δ_ij = |i − j|.
+  bool interval_use_log = true;   ///< false = "w/o Log": δ' = 1/δ.
+  bool interval_adaptive = true;  ///< false = "w/o Adaptive": ∆̃ = ∆'.
+  /// Optional initial road-embedding table (row-major [V, d]) for the
+  /// "w/ Node2vec" variant; only read when use_tpe_gat == false.
+  std::vector<float> road_embedding_init;
+
+  int64_t FfnDim() const { return ffn_dim > 0 ? ffn_dim : d; }
+};
+
+}  // namespace start::core
+
+#endif  // START_CORE_CONFIG_H_

@@ -1,0 +1,144 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "data/batch.h"
+#include "data/span_mask.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+#include "tensor/ops.h"
+
+namespace start::core {
+
+using tensor::Tensor;
+
+PretrainStats Pretrain(StartModel* model,
+                       const std::vector<traj::Trajectory>& corpus,
+                       const traj::TrafficModel* traffic,
+                       const PretrainConfig& config) {
+  START_CHECK(model != nullptr);
+  START_CHECK(!corpus.empty());
+  START_CHECK(config.use_mask_task || config.use_contrastive_task);
+  common::Rng rng(config.seed);
+  model->SetTraining(true);
+
+  nn::AdamW opt(model->Parameters(), config.lr, 0.9, 0.999, 1e-8,
+                config.weight_decay);
+  const int64_t steps_per_epoch = std::max<int64_t>(
+      1, static_cast<int64_t>(corpus.size()) / config.batch_size);
+  const int64_t total_steps = steps_per_epoch * config.epochs;
+  const nn::WarmupCosineSchedule schedule(
+      config.lr,
+      static_cast<int64_t>(config.warmup_fraction *
+                           static_cast<double>(total_steps)),
+      total_steps, config.lr * 0.05);
+
+  data::AugmentationConfig aug_cfg;
+  PretrainStats stats;
+  int64_t step = 0;
+  std::vector<int64_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0, epoch_mask = 0.0, epoch_con = 0.0;
+    int64_t batches = 0;
+    for (int64_t s = 0; s < steps_per_epoch; ++s) {
+      // Assemble the mini-batch of trajectories.
+      std::vector<const traj::Trajectory*> batch;
+      for (int64_t k = 0; k < config.batch_size; ++k) {
+        const int64_t idx =
+            order[static_cast<size_t>((s * config.batch_size + k) %
+                                      static_cast<int64_t>(corpus.size()))];
+        batch.push_back(&corpus[static_cast<size_t>(idx)]);
+      }
+      Tensor loss;
+      double mask_val = 0.0, con_val = 0.0;
+
+      // --- Task 1: span-masked trajectory recovery (Sec. III-C1) ---------
+      if (config.use_mask_task) {
+        std::vector<data::View> views;
+        views.reserve(batch.size());
+        std::vector<data::SpanMaskInfo> infos;
+        for (const auto* t : batch) {
+          data::View v = data::MakeView(*t);
+          infos.push_back(data::ApplySpanMask(&v, config.mask_span,
+                                              config.mask_ratio, &rng));
+          views.push_back(std::move(v));
+        }
+        const data::Batch mb = data::MakeBatch(views);
+        std::vector<int64_t> flat_positions;
+        std::vector<int64_t> targets;
+        for (size_t b = 0; b < infos.size(); ++b) {
+          for (size_t k = 0; k < infos[b].positions.size(); ++k) {
+            flat_positions.push_back(
+                static_cast<int64_t>(b) * mb.max_len + infos[b].positions[k]);
+            targets.push_back(infos[b].targets[k]);
+          }
+        }
+        if (!flat_positions.empty()) {
+          const EncoderOutput out = model->Encode(mb);
+          const Tensor logits =
+              model->MaskedLogits(out, flat_positions, mb.max_len);
+          const Tensor mask_loss =
+              tensor::CrossEntropyWithLogits(logits, targets);
+          mask_val = mask_loss.item();
+          loss = tensor::Scale(mask_loss,
+                               config.use_contrastive_task
+                                   ? static_cast<float>(config.lambda)
+                                   : 1.0f);
+        }
+      }
+
+      // --- Task 2: trajectory contrastive learning (Sec. III-C2) ---------
+      if (config.use_contrastive_task) {
+        std::vector<data::View> views;
+        views.reserve(2 * batch.size());
+        for (const auto* t : batch) {
+          views.push_back(
+              data::Augment(*t, config.aug_a, aug_cfg, traffic, &rng));
+          views.push_back(
+              data::Augment(*t, config.aug_b, aug_cfg, traffic, &rng));
+        }
+        const data::Batch cb = data::MakeBatch(views);
+        const EncoderOutput out = model->Encode(cb);
+        const Tensor con_loss = nn::NtXentLoss(out.cls, config.tau);
+        con_val = con_loss.item();
+        const Tensor scaled = tensor::Scale(
+            con_loss, config.use_mask_task
+                          ? static_cast<float>(1.0 - config.lambda)
+                          : 1.0f);
+        loss = loss.defined() ? tensor::Add(loss, scaled) : scaled;
+      }
+
+      START_CHECK(loss.defined());
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model->Parameters(), config.grad_clip);
+      opt.set_lr(schedule.LrAt(step));
+      opt.Step();
+      ++step;
+      epoch_loss += loss.item();
+      epoch_mask += mask_val;
+      epoch_con += con_val;
+      ++batches;
+    }
+    stats.epoch_loss.push_back(epoch_loss / static_cast<double>(batches));
+    stats.epoch_mask_loss.push_back(epoch_mask /
+                                    static_cast<double>(batches));
+    stats.epoch_contrastive_loss.push_back(epoch_con /
+                                           static_cast<double>(batches));
+    if (config.verbose) {
+      START_LOG(Info) << "pretrain epoch " << epoch << " loss "
+                      << stats.epoch_loss.back() << " (mask "
+                      << stats.epoch_mask_loss.back() << ", con "
+                      << stats.epoch_contrastive_loss.back() << ")";
+    }
+  }
+  return stats;
+}
+
+}  // namespace start::core

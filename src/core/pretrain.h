@@ -1,0 +1,51 @@
+#ifndef START_CORE_PRETRAIN_H_
+#define START_CORE_PRETRAIN_H_
+
+#include <vector>
+
+#include "core/start_model.h"
+#include "data/augmentation.h"
+#include "traj/traffic_model.h"
+
+namespace start::core {
+
+/// \brief Pre-training hyper-parameters (defaults follow Sec. IV-C at
+/// laptop scale; the paper trains 30 epochs with batch 64 and lr 2e-4).
+struct PretrainConfig {
+  int64_t epochs = 5;
+  int64_t batch_size = 16;
+  double lr = 1e-3;
+  double weight_decay = 0.01;
+  double warmup_fraction = 0.15;  ///< Fraction of steps used for warm-up.
+  double grad_clip = 5.0;
+  double lambda = 0.6;  ///< Loss mix of Eq. (15).
+  float tau = 0.05f;    ///< NT-Xent temperature.
+  int64_t mask_span = 2;       ///< lm.
+  double mask_ratio = 0.15;    ///< pm.
+  data::AugmentationKind aug_a = data::AugmentationKind::kTrim;
+  data::AugmentationKind aug_b = data::AugmentationKind::kTemporalShift;
+  bool use_mask_task = true;         ///< false = "w/o Mask" ablation.
+  bool use_contrastive_task = true;  ///< false = "w/o Contra" ablation.
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// \brief Per-epoch telemetry of a pre-training run.
+struct PretrainStats {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_mask_loss;
+  std::vector<double> epoch_contrastive_loss;
+};
+
+/// Runs the two self-supervised tasks of Sec. III-C over `corpus`
+/// (span-masked recovery + trajectory contrastive learning) with AdamW and
+/// the warm-up/cosine schedule. `traffic` supplies historical travel times
+/// for the Temporal Shifting augmentation.
+PretrainStats Pretrain(StartModel* model,
+                       const std::vector<traj::Trajectory>& corpus,
+                       const traj::TrafficModel* traffic,
+                       const PretrainConfig& config);
+
+}  // namespace start::core
+
+#endif  // START_CORE_PRETRAIN_H_

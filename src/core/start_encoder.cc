@@ -1,0 +1,23 @@
+#include "core/start_encoder.h"
+
+#include "common/check.h"
+#include "data/batch.h"
+#include "data/view.h"
+
+namespace start::core {
+
+tensor::Tensor StartEncoder::EncodeBatch(
+    const std::vector<const traj::Trajectory*>& batch,
+    eval::EncodeMode mode) {
+  START_CHECK(!batch.empty());
+  std::vector<data::View> views;
+  views.reserve(batch.size());
+  for (const auto* t : batch) {
+    views.push_back(mode == eval::EncodeMode::kDepartureOnly
+                        ? data::MakeEtaView(*t)
+                        : data::MakeView(*t));
+  }
+  return model_->Encode(data::MakeBatch(views)).cls;
+}
+
+}  // namespace start::core

@@ -1,0 +1,124 @@
+#include "core/tpe_gat.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace start::core {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TpeGatLayer::TpeGatLayer(int64_t in_dim, int64_t out_dim, int64_t num_heads,
+                         bool use_transfer_prob,
+                         const std::vector<int64_t>* edge_src,
+                         const std::vector<int64_t>* edge_dst,
+                         const std::vector<float>* edge_p,
+                         int64_t num_vertices, common::Rng* rng)
+    : num_heads_(num_heads),
+      head_dim_(out_dim / num_heads),
+      use_transfer_prob_(use_transfer_prob),
+      edge_src_(edge_src),
+      edge_dst_(edge_dst),
+      edge_p_(edge_p),
+      num_vertices_(num_vertices) {
+  START_CHECK_MSG(out_dim % num_heads == 0,
+                  "GAT out_dim " << out_dim << " vs heads " << num_heads);
+  heads_.resize(static_cast<size_t>(num_heads));
+  for (int64_t h = 0; h < num_heads; ++h) {
+    auto& head = heads_[static_cast<size_t>(h)];
+    head.w1 = std::make_unique<nn::Linear>(in_dim, head_dim_, rng,
+                                           /*bias=*/false);
+    head.w2 = std::make_unique<nn::Linear>(in_dim, head_dim_, rng,
+                                           /*bias=*/false);
+    head.w5 = std::make_unique<nn::Linear>(in_dim, head_dim_, rng,
+                                           /*bias=*/false);
+    const std::string tag = "head" + std::to_string(h);
+    RegisterModule(tag + ".w1", head.w1.get());
+    RegisterModule(tag + ".w2", head.w2.get());
+    RegisterModule(tag + ".w5", head.w5.get());
+    head.w3 = RegisterParameter(tag + ".w3",
+                                nn::XavierUniform(Shape({1, head_dim_}), rng));
+    head.w4 = RegisterParameter(tag + ".w4",
+                                nn::XavierUniform(Shape({head_dim_, 1}), rng));
+  }
+}
+
+Tensor TpeGatLayer::Forward(const Tensor& h) const {
+  START_CHECK_EQ(h.dim(0), num_vertices_);
+  const int64_t e = static_cast<int64_t>(edge_src_->size());
+  // Constant per-edge transfer probabilities [E, 1].
+  Tensor p_edge;
+  if (use_transfer_prob_) {
+    std::vector<float> p(edge_p_->begin(), edge_p_->end());
+    p_edge = Tensor::FromVector(Shape({e, 1}), std::move(p));
+  }
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(num_heads_));
+  for (const auto& head : heads_) {
+    // Per-vertex scalar contributions u_i = (h W1) W4, v_j = (h W2) W4.
+    const Tensor u = tensor::MatMul(head.w1->Forward(h), head.w4);  // [V,1]
+    const Tensor v = tensor::MatMul(head.w2->Forward(h), head.w4);  // [V,1]
+    Tensor scores = tensor::Add(tensor::GatherRows(u, *edge_dst_),
+                                tensor::GatherRows(v, *edge_src_));  // [E,1]
+    if (use_transfer_prob_) {
+      const Tensor w_p = tensor::MatMul(head.w3, head.w4);  // [1,1]
+      scores = tensor::Add(scores, tensor::Mul(p_edge, w_p));
+    }
+    scores = tensor::LeakyRelu(tensor::Reshape(scores, Shape({e})), 0.2f);
+    const Tensor alpha =
+        tensor::SegmentSoftmax(scores, *edge_dst_, num_vertices_);
+    const Tensor values =
+        tensor::GatherRows(head.w5->Forward(h), *edge_src_);  // [E, dh]
+    const Tensor agg = tensor::SegmentWeightedSum(values, alpha, *edge_dst_,
+                                                  num_vertices_);
+    outputs.push_back(tensor::Elu(agg));
+  }
+  return num_heads_ == 1 ? outputs[0] : tensor::Concat(outputs, 1);
+}
+
+TpeGat::TpeGat(const roadnet::RoadNetwork* net,
+               const roadnet::TransferProbability* transfer, int64_t in_dim,
+               int64_t out_dim, const std::vector<int64_t>& heads,
+               bool use_transfer_prob, common::Rng* rng) {
+  START_CHECK(net != nullptr);
+  START_CHECK(net->finalized());
+  START_CHECK(!heads.empty());
+  const int64_t v = net->num_segments();
+  // Edge list: graph edges + self-loops (p = 1 so every road keeps a direct
+  // view of itself in the weighted aggregation).
+  const auto& src = net->edge_sources();
+  const auto& dst = net->edge_targets();
+  edge_src_.reserve(src.size() + static_cast<size_t>(v));
+  edge_dst_.reserve(src.size() + static_cast<size_t>(v));
+  edge_p_.reserve(src.size() + static_cast<size_t>(v));
+  for (size_t i = 0; i < src.size(); ++i) {
+    edge_src_.push_back(src[i]);
+    edge_dst_.push_back(dst[i]);
+    edge_p_.push_back(
+        transfer != nullptr
+            ? static_cast<float>(transfer->Prob(src[i], dst[i]))
+            : 0.0f);
+  }
+  for (int64_t i = 0; i < v; ++i) {
+    edge_src_.push_back(i);
+    edge_dst_.push_back(i);
+    edge_p_.push_back(1.0f);
+  }
+  int64_t cur_dim = in_dim;
+  for (size_t l = 0; l < heads.size(); ++l) {
+    layers_.push_back(std::make_unique<TpeGatLayer>(
+        cur_dim, out_dim, heads[l], use_transfer_prob, &edge_src_, &edge_dst_,
+        &edge_p_, v, rng));
+    RegisterModule("layer" + std::to_string(l), layers_.back().get());
+    cur_dim = out_dim;
+  }
+}
+
+Tensor TpeGat::Forward(const Tensor& features) const {
+  Tensor h = features;
+  for (const auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+}  // namespace start::core

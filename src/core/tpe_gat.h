@@ -1,0 +1,77 @@
+#ifndef START_CORE_TPE_GAT_H_
+#define START_CORE_TPE_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "roadnet/road_network.h"
+
+namespace start::core {
+
+/// \brief One Trajectory Pattern-Enhanced Graph Attention layer (Sec. III-A).
+///
+/// Implements Eq. (1)–(4) with the linear decomposition
+///   e_ij = (h_i W1 + h_j W2 + p_ij W3) W4ᵀ = u_i + v_j + p_ij · w,
+/// where i is the aggregating road, j ∈ N_i an in-neighbour, and p_ij the
+/// transfer probability of Eq. (2). Attention is normalised per neighbourhood
+/// with a numerically-stable segment softmax; outputs of the H heads are
+/// concatenated (Eq. 4) after ELU.
+class TpeGatLayer : public nn::Module {
+ public:
+  /// `edge_src`/`edge_dst`/`edge_p`: flat edge list including self-loops
+  /// (p = 1 on self-loops). out_dim must be divisible by num_heads.
+  TpeGatLayer(int64_t in_dim, int64_t out_dim, int64_t num_heads,
+              bool use_transfer_prob,
+              const std::vector<int64_t>* edge_src,
+              const std::vector<int64_t>* edge_dst,
+              const std::vector<float>* edge_p, int64_t num_vertices,
+              common::Rng* rng);
+
+  /// h [V, in_dim] -> [V, out_dim].
+  tensor::Tensor Forward(const tensor::Tensor& h) const;
+
+ private:
+  struct Head {
+    std::unique_ptr<nn::Linear> w1;  // center transform (no bias)
+    std::unique_ptr<nn::Linear> w2;  // neighbour transform
+    std::unique_ptr<nn::Linear> w5;  // value transform
+    tensor::Tensor w3;               // [1, head_dim]
+    tensor::Tensor w4;               // [head_dim, 1]
+  };
+
+  int64_t num_heads_;
+  int64_t head_dim_;
+  bool use_transfer_prob_;
+  const std::vector<int64_t>* edge_src_;
+  const std::vector<int64_t>* edge_dst_;
+  const std::vector<float>* edge_p_;
+  int64_t num_vertices_;
+  std::vector<Head> heads_;
+};
+
+/// \brief The full L1-layer TPE-GAT stack mapping road features to road
+/// representations r_i (Sec. III-A). Parameters are independent of |V|, which
+/// is what makes the model transferable across road networks (Table III).
+class TpeGat : public nn::Module {
+ public:
+  TpeGat(const roadnet::RoadNetwork* net,
+         const roadnet::TransferProbability* transfer, int64_t in_dim,
+         int64_t out_dim, const std::vector<int64_t>& heads,
+         bool use_transfer_prob, common::Rng* rng);
+
+  /// features [V, in_dim] -> road representations [V, out_dim].
+  tensor::Tensor Forward(const tensor::Tensor& features) const;
+
+  int64_t num_edges() const { return static_cast<int64_t>(edge_src_.size()); }
+
+ private:
+  std::vector<int64_t> edge_src_, edge_dst_;
+  std::vector<float> edge_p_;
+  std::vector<std::unique_ptr<TpeGatLayer>> layers_;
+};
+
+}  // namespace start::core
+
+#endif  // START_CORE_TPE_GAT_H_

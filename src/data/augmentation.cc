@@ -1,0 +1,114 @@
+#include "data/augmentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "data/span_mask.h"
+
+namespace start::data {
+
+std::string_view AugmentationName(AugmentationKind kind) {
+  switch (kind) {
+    case AugmentationKind::kTrim:
+      return "Trim";
+    case AugmentationKind::kTemporalShift:
+      return "Shift";
+    case AugmentationKind::kRoadMask:
+      return "Mask";
+    case AugmentationKind::kDropout:
+      return "Dropout";
+  }
+  return "?";
+}
+
+namespace {
+
+View TrimAugment(const traj::Trajectory& t, const AugmentationConfig& cfg,
+                 common::Rng* rng) {
+  const int64_t n = t.size();
+  const double ratio = rng->Uniform(cfg.trim_ratio_min, cfg.trim_ratio_max);
+  int64_t cut = std::max<int64_t>(1, static_cast<int64_t>(ratio * n));
+  // Keep at least two roads.
+  cut = std::min(cut, n - 2);
+  if (cut <= 0) return MakeView(t);
+  traj::Trajectory trimmed = t;
+  if (rng->Bernoulli(0.5)) {
+    // Trim at the origin.
+    trimmed.roads.erase(trimmed.roads.begin(), trimmed.roads.begin() + cut);
+    trimmed.timestamps.erase(trimmed.timestamps.begin(),
+                             trimmed.timestamps.begin() + cut);
+  } else {
+    // Trim at the destination; the exit time of the new last road is the
+    // entry time of the first removed road.
+    trimmed.end_time = trimmed.timestamps[static_cast<size_t>(n - cut)];
+    trimmed.roads.resize(static_cast<size_t>(n - cut));
+    trimmed.timestamps.resize(static_cast<size_t>(n - cut));
+  }
+  return MakeView(trimmed);
+}
+
+View TemporalShiftAugment(const traj::Trajectory& t,
+                          const AugmentationConfig& cfg,
+                          const traj::TrafficModel* traffic,
+                          common::Rng* rng) {
+  START_CHECK(traffic != nullptr);
+  const int64_t n = t.size();
+  // Per-road travel times (the last road's exit is end_time).
+  std::vector<double> dt(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t out = i + 1 < n ? t.timestamps[static_cast<size_t>(i + 1)]
+                                  : t.end_time;
+    dt[static_cast<size_t>(i)] =
+        static_cast<double>(out - t.timestamps[static_cast<size_t>(i)]);
+  }
+  // Shift a random subset toward the historical mean:
+  // t_aug = t_cur - (t_cur - t_his) * r3  (Sec. III-C2).
+  const int64_t num_shift = std::max<int64_t>(
+      1, static_cast<int64_t>(cfg.shift_road_fraction * n));
+  for (const int64_t i : rng->SampleWithoutReplacement(n, num_shift)) {
+    const double t_cur = dt[static_cast<size_t>(i)];
+    const double t_his =
+        traffic->HistoricalMeanTravelTime(t.roads[static_cast<size_t>(i)]);
+    const double r3 = rng->Uniform(cfg.shift_min, cfg.shift_max);
+    dt[static_cast<size_t>(i)] =
+        std::max(1.0, t_cur - (t_cur - t_his) * r3);
+  }
+  // Rebuild timestamps cumulatively from the original departure.
+  traj::Trajectory shifted = t;
+  double clock = static_cast<double>(t.timestamps.front());
+  for (int64_t i = 0; i < n; ++i) {
+    shifted.timestamps[static_cast<size_t>(i)] = static_cast<int64_t>(clock);
+    clock += dt[static_cast<size_t>(i)];
+  }
+  shifted.end_time = static_cast<int64_t>(clock);
+  return MakeView(shifted);
+}
+
+}  // namespace
+
+View Augment(const traj::Trajectory& t, AugmentationKind kind,
+             const AugmentationConfig& config,
+             const traj::TrafficModel* traffic, common::Rng* rng) {
+  START_CHECK(rng != nullptr);
+  START_CHECK_GE(t.size(), 3);
+  switch (kind) {
+    case AugmentationKind::kTrim:
+      return TrimAugment(t, config, rng);
+    case AugmentationKind::kTemporalShift:
+      return TemporalShiftAugment(t, config, traffic, rng);
+    case AugmentationKind::kRoadMask: {
+      View v = MakeView(t);
+      ApplySpanMask(&v, config.mask_span, config.mask_ratio, rng);
+      return v;
+    }
+    case AugmentationKind::kDropout: {
+      View v = MakeView(t);
+      v.embedding_dropout = true;
+      return v;
+    }
+  }
+  return MakeView(t);
+}
+
+}  // namespace start::data

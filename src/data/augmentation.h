@@ -1,0 +1,42 @@
+#ifndef START_DATA_AUGMENTATION_H_
+#define START_DATA_AUGMENTATION_H_
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "data/view.h"
+#include "traj/traffic_model.h"
+
+namespace start::data {
+
+/// The paper's four trajectory data-augmentation strategies (Sec. III-C2).
+enum class AugmentationKind {
+  kTrim = 0,           ///< Trajectory Trimming (origin/destination, 5–15%).
+  kTemporalShift = 1,  ///< Temporal Shifting toward historical travel times.
+  kRoadMask = 2,       ///< Road Segments Mask (span mask as augmentation).
+  kDropout = 3,        ///< Embedding dropout (SimCSE-style).
+};
+
+std::string_view AugmentationName(AugmentationKind kind);
+
+/// \brief Parameters mirroring Sec. III-C2's defaults.
+struct AugmentationConfig {
+  double trim_ratio_min = 0.05;
+  double trim_ratio_max = 0.15;
+  double shift_road_fraction = 0.15;  ///< r2
+  double shift_min = 0.15;            ///< r3 lower bound
+  double shift_max = 0.30;            ///< r3 upper bound
+  double mask_ratio = 0.15;           ///< pm for the mask augmentation
+  int64_t mask_span = 2;              ///< lm
+};
+
+/// Applies one augmentation to a trajectory and returns the resulting view.
+/// `traffic` supplies the historical travel times needed by Temporal
+/// Shifting; it may be null for the other strategies.
+View Augment(const traj::Trajectory& t, AugmentationKind kind,
+             const AugmentationConfig& config,
+             const traj::TrafficModel* traffic, common::Rng* rng);
+
+}  // namespace start::data
+
+#endif  // START_DATA_AUGMENTATION_H_

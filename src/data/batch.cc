@@ -1,0 +1,42 @@
+#include "data/batch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace start::data {
+
+Batch MakeBatch(const std::vector<View>& views) {
+  START_CHECK(!views.empty());
+  Batch batch;
+  batch.batch_size = static_cast<int64_t>(views.size());
+  for (const auto& v : views) {
+    START_CHECK_GT(v.size(), 0);
+    batch.max_len = std::max(batch.max_len, v.size());
+    batch.embedding_dropout |= v.embedding_dropout;
+  }
+  const int64_t total = batch.batch_size * batch.max_len;
+  batch.roads.assign(static_cast<size_t>(total), kPadRoad);
+  batch.minute_idx.assign(static_cast<size_t>(total), kMaskTimeIndex);
+  batch.dow_idx.assign(static_cast<size_t>(total), kMaskTimeIndex);
+  batch.times.assign(static_cast<size_t>(total), 0.0);
+  batch.lengths.resize(static_cast<size_t>(batch.batch_size));
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    const View& v = views[static_cast<size_t>(b)];
+    batch.lengths[static_cast<size_t>(b)] = v.size();
+    const int64_t base = b * batch.max_len;
+    for (int64_t i = 0; i < v.size(); ++i) {
+      batch.roads[static_cast<size_t>(base + i)] =
+          v.roads[static_cast<size_t>(i)];
+      batch.minute_idx[static_cast<size_t>(base + i)] =
+          v.minute_idx[static_cast<size_t>(i)];
+      batch.dow_idx[static_cast<size_t>(base + i)] =
+          v.dow_idx[static_cast<size_t>(i)];
+      batch.times[static_cast<size_t>(base + i)] =
+          v.times[static_cast<size_t>(i)];
+    }
+  }
+  return batch;
+}
+
+}  // namespace start::data

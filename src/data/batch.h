@@ -1,0 +1,33 @@
+#ifndef START_DATA_BATCH_H_
+#define START_DATA_BATCH_H_
+
+#include <vector>
+
+#include "data/view.h"
+
+namespace start::data {
+
+/// \brief Padded batch of views, ready for a sequence encoder.
+///
+/// All per-token arrays are row-major [batch, max_len]. Padding positions
+/// carry kPadRoad / kMaskTimeIndex / 0.0 and are excluded via `lengths`
+/// (the encoder turns lengths into an additive attention mask).
+struct Batch {
+  int64_t batch_size = 0;
+  int64_t max_len = 0;
+  std::vector<int64_t> roads;       ///< kMaskRoad/kPadRoad sentinels allowed.
+  std::vector<int64_t> minute_idx;
+  std::vector<int64_t> dow_idx;
+  std::vector<double> times;
+  std::vector<int64_t> lengths;
+  bool embedding_dropout = false;   ///< Any view requested the dropout view.
+
+  int64_t At(int64_t b, int64_t pos) const { return roads[b * max_len + pos]; }
+};
+
+/// Pads a list of views into a batch. All views must be non-empty.
+Batch MakeBatch(const std::vector<View>& views);
+
+}  // namespace start::data
+
+#endif  // START_DATA_BATCH_H_

@@ -1,0 +1,88 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace start::data {
+
+TrajDataset TrajDataset::FromCorpus(const roadnet::RoadNetwork& net,
+                                    std::vector<traj::Trajectory> corpus,
+                                    const DatasetConfig& config) {
+  // Filter: length bounds and loop removal (origin == destination).
+  std::vector<traj::Trajectory> kept;
+  kept.reserve(corpus.size());
+  for (auto& t : corpus) {
+    if (t.size() < config.min_length) continue;
+    if (t.roads.front() == t.roads.back()) continue;  // loop trajectory
+    if (t.size() > config.max_length) {
+      // Truncate over-long trajectories to the cap (max length 128 in the
+      // paper); keep the prefix and adjust the end time.
+      t.end_time = t.timestamps[static_cast<size_t>(config.max_length)];
+      t.roads.resize(static_cast<size_t>(config.max_length));
+      t.timestamps.resize(static_cast<size_t>(config.max_length));
+    }
+    for (const int64_t r : t.roads) {
+      START_CHECK_MSG(r >= 0 && r < net.num_segments(), "bad road " << r);
+    }
+    kept.push_back(std::move(t));
+  }
+  // Filter: users with too few trajectories.
+  std::map<int64_t, int64_t> per_user;
+  for (const auto& t : kept) ++per_user[t.driver_id];
+  std::vector<traj::Trajectory> filtered;
+  filtered.reserve(kept.size());
+  for (auto& t : kept) {
+    if (per_user[t.driver_id] >= config.min_user_trajectories) {
+      filtered.push_back(std::move(t));
+    }
+  }
+  // Re-index the surviving drivers densely so classification heads can size
+  // their output layer as [num_drivers].
+  std::map<int64_t, int64_t> remap;
+  for (const auto& t : filtered) {
+    remap.emplace(t.driver_id, static_cast<int64_t>(remap.size()));
+  }
+  for (auto& t : filtered) t.driver_id = remap[t.driver_id];
+
+  // Chronological split.
+  std::stable_sort(filtered.begin(), filtered.end(),
+                   [](const traj::Trajectory& a, const traj::Trajectory& b) {
+                     return a.departure_time() < b.departure_time();
+                   });
+  TrajDataset ds;
+  ds.num_drivers_ = static_cast<int64_t>(remap.size());
+  const int64_t n = static_cast<int64_t>(filtered.size());
+  const int64_t n_train = static_cast<int64_t>(config.train_fraction * n);
+  const int64_t n_val = static_cast<int64_t>(config.val_fraction * n);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i < n_train) {
+      ds.train_.push_back(std::move(filtered[static_cast<size_t>(i)]));
+    } else if (i < n_train + n_val) {
+      ds.val_.push_back(std::move(filtered[static_cast<size_t>(i)]));
+    } else {
+      ds.test_.push_back(std::move(filtered[static_cast<size_t>(i)]));
+    }
+  }
+  return ds;
+}
+
+std::vector<traj::Trajectory> TrajDataset::All() const {
+  std::vector<traj::Trajectory> all;
+  all.reserve(train_.size() + val_.size() + test_.size());
+  all.insert(all.end(), train_.begin(), train_.end());
+  all.insert(all.end(), val_.begin(), val_.end());
+  all.insert(all.end(), test_.begin(), test_.end());
+  return all;
+}
+
+std::vector<std::vector<int64_t>> TrajDataset::TrainRoadSequences() const {
+  std::vector<std::vector<int64_t>> seqs;
+  seqs.reserve(train_.size());
+  for (const auto& t : train_) seqs.push_back(t.roads);
+  return seqs;
+}
+
+}  // namespace start::data

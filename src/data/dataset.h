@@ -1,0 +1,52 @@
+#ifndef START_DATA_DATASET_H_
+#define START_DATA_DATASET_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace start::data {
+
+/// \brief Preprocessing filters of Sec. IV-A: loop removal, length bounds,
+/// minimum trajectories per user; then a chronological train/val/test split
+/// (the paper splits BJ 18/5/7 days and Porto per-month 6:2:2 — both are
+/// chronological splits, which is what we reproduce).
+struct DatasetConfig {
+  int64_t min_length = 6;
+  int64_t max_length = 128;
+  int64_t min_user_trajectories = 20;
+  double train_fraction = 0.65;
+  double val_fraction = 0.17;
+};
+
+/// \brief A filtered, chronologically split trajectory corpus.
+class TrajDataset {
+ public:
+  /// Applies the filters and splits `corpus` (which must be sorted by
+  /// departure time; Generate() already sorts).
+  static TrajDataset FromCorpus(const roadnet::RoadNetwork& net,
+                                std::vector<traj::Trajectory> corpus,
+                                const DatasetConfig& config);
+
+  const std::vector<traj::Trajectory>& train() const { return train_; }
+  const std::vector<traj::Trajectory>& val() const { return val_; }
+  const std::vector<traj::Trajectory>& test() const { return test_; }
+
+  /// All retained trajectories in chronological order.
+  std::vector<traj::Trajectory> All() const;
+
+  /// Road-id sequences of the training split (the corpus the transfer
+  /// probabilities of Eq. 2 are estimated from — no test leakage).
+  std::vector<std::vector<int64_t>> TrainRoadSequences() const;
+
+  int64_t num_drivers() const { return num_drivers_; }
+
+ private:
+  std::vector<traj::Trajectory> train_, val_, test_;
+  int64_t num_drivers_ = 0;
+};
+
+}  // namespace start::data
+
+#endif  // START_DATA_DATASET_H_

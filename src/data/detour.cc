@@ -1,0 +1,80 @@
+#include "data/detour.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "roadnet/shortest_path.h"
+
+namespace start::data {
+
+std::optional<traj::Trajectory> MakeDetour(const traj::TrafficModel& traffic,
+                                           const traj::Trajectory& t,
+                                           const DetourConfig& config,
+                                           common::Rng* rng) {
+  START_CHECK(rng != nullptr);
+  const auto& net = traffic.network();
+  const int64_t n = t.size();
+  if (n < 4) return std::nullopt;
+  // Select a consecutive sub-trajectory S_a of length <= pd * n (at least 2
+  // so origin != destination of the section).
+  const int64_t span = std::clamp<int64_t>(
+      static_cast<int64_t>(config.select_proportion * n), 2, n);
+  const int64_t start = rng->UniformInt(n - span + 1);
+  const int64_t origin = t.roads[static_cast<size_t>(start)];
+  const int64_t dest = t.roads[static_cast<size_t>(start + span - 1)];
+  if (origin == dest) return std::nullopt;
+  const std::vector<int64_t> original(
+      t.roads.begin() + start, t.roads.begin() + start + span);
+  // Original section travel time.
+  const int64_t section_entry = t.timestamps[static_cast<size_t>(start)];
+  const int64_t section_exit =
+      (start + span < n) ? t.timestamps[static_cast<size_t>(start + span)]
+                         : t.end_time;
+  const double orig_time = static_cast<double>(section_exit - section_entry);
+  if (orig_time <= 0.0) return std::nullopt;
+
+  auto weight = [&](int64_t road) { return net.FreeFlowTravelTime(road); };
+  const auto candidates = roadnet::KShortestPaths(net, origin, dest,
+                                                  config.top_k, weight);
+  auto expected_time = [&](const std::vector<int64_t>& path) {
+    double clock = static_cast<double>(section_entry);
+    for (const int64_t r : path) {
+      clock += traffic.ExpectedTravelTime(r, static_cast<int64_t>(clock));
+    }
+    return clock - static_cast<double>(section_entry);
+  };
+  for (const auto& cand : candidates) {
+    if (cand.path == original) continue;
+    const double cand_time = expected_time(cand.path);
+    // "If the travel time of the searched trajectory exceeds a certain
+    // threshold t_d with respect to the original trajectory" (Sec. IV-D4a).
+    if (std::fabs(cand_time - orig_time) / orig_time <= config.time_threshold) {
+      continue;
+    }
+    // Splice: prefix + candidate + suffix, then re-time from the section
+    // entry with the deterministic congestion profile.
+    traj::Trajectory out;
+    out.driver_id = t.driver_id;
+    out.occupied = t.occupied;
+    out.transport_mode = t.transport_mode;
+    out.roads.assign(t.roads.begin(), t.roads.begin() + start);
+    out.roads.insert(out.roads.end(), cand.path.begin(), cand.path.end());
+    out.roads.insert(out.roads.end(), t.roads.begin() + start + span,
+                     t.roads.end());
+    out.timestamps.assign(t.timestamps.begin(),
+                          t.timestamps.begin() + start);
+    double clock = static_cast<double>(section_entry);
+    for (size_t i = static_cast<size_t>(start); i < out.roads.size(); ++i) {
+      out.timestamps.push_back(static_cast<int64_t>(clock));
+      clock += std::max(
+          1.0, traffic.ExpectedTravelTime(out.roads[i],
+                                          static_cast<int64_t>(clock)));
+    }
+    out.end_time = static_cast<int64_t>(clock);
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace start::data

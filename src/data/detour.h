@@ -1,0 +1,33 @@
+#ifndef START_DATA_DETOUR_H_
+#define START_DATA_DETOUR_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+#include "traj/traffic_model.h"
+#include "traj/trajectory.h"
+
+namespace start::data {
+
+/// \brief Parameters of the top-k detour ground-truth generator of
+/// Sec. IV-D4(a): Nq = 10,000, Nneg = 100,000, pd = 0.2, td = 0.2 at paper
+/// scale (the bench harness scales Nq/Nneg down).
+struct DetourConfig {
+  double select_proportion = 0.2;  ///< pd: max fraction of roads replaced.
+  double time_threshold = 0.2;     ///< td: min relative travel-time change.
+  int64_t top_k = 8;               ///< Yen candidates examined per query.
+};
+
+/// \brief Replaces a random consecutive sub-trajectory with a top-k detour
+/// whose travel time differs by more than `time_threshold`, then re-times the
+/// spliced trajectory with the congestion model. Returns nullopt when no
+/// qualifying alternative exists.
+std::optional<traj::Trajectory> MakeDetour(const traj::TrafficModel& traffic,
+                                           const traj::Trajectory& t,
+                                           const DetourConfig& config,
+                                           common::Rng* rng);
+
+}  // namespace start::data
+
+#endif  // START_DATA_DETOUR_H_

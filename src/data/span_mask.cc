@@ -1,0 +1,50 @@
+#include "data/span_mask.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace start::data {
+
+SpanMaskInfo ApplySpanMask(View* view, int64_t span_len, double mask_ratio,
+                           common::Rng* rng) {
+  START_CHECK(view != nullptr);
+  START_CHECK(rng != nullptr);
+  START_CHECK_GT(span_len, 0);
+  START_CHECK_GT(mask_ratio, 0.0);
+  START_CHECK_LE(mask_ratio, 1.0);
+  const int64_t n = view->size();
+  SpanMaskInfo info;
+  if (n < 2) return info;
+  const int64_t budget = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(mask_ratio * static_cast<double>(n))));
+  std::vector<bool> masked(static_cast<size_t>(n), false);
+  int64_t covered = 0;
+  // Sample span start positions until the budget is covered; bail out after
+  // a bounded number of attempts so adversarial inputs cannot loop forever.
+  // Spans are placed fully inside the sequence when it is long enough, so
+  // every masked run really has length lm (Sec. III-C1).
+  const int64_t start_limit = std::max<int64_t>(1, n - span_len + 1);
+  for (int attempts = 0; covered < budget && attempts < 16 * n; ++attempts) {
+    const int64_t start = rng->UniformInt(start_limit);
+    for (int64_t j = start; j < std::min(n, start + span_len); ++j) {
+      if (!masked[static_cast<size_t>(j)]) {
+        masked[static_cast<size_t>(j)] = true;
+        ++covered;
+      }
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    if (!masked[static_cast<size_t>(i)]) continue;
+    info.positions.push_back(i);
+    info.targets.push_back(view->roads[static_cast<size_t>(i)]);
+    view->roads[static_cast<size_t>(i)] = kMaskRoad;
+    view->minute_idx[static_cast<size_t>(i)] = kMaskTimeIndex;
+    view->dow_idx[static_cast<size_t>(i)] = kMaskTimeIndex;
+  }
+  return info;
+}
+
+}  // namespace start::data

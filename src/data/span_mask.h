@@ -1,0 +1,30 @@
+#ifndef START_DATA_SPAN_MASK_H_
+#define START_DATA_SPAN_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/view.h"
+
+namespace start::data {
+
+/// \brief Result of span masking: which positions were masked and the
+/// original road ids (the recovery targets of Eq. 13).
+struct SpanMaskInfo {
+  std::vector<int64_t> positions;  ///< Indexes into the view.
+  std::vector<int64_t> targets;    ///< Original road ids at those positions.
+};
+
+/// \brief Masks consecutive spans of length `span_len` until at least
+/// `mask_ratio` of the view is covered (Sec. III-C1: lm = 2, pm = 15%).
+///
+/// Masked positions get road id kMaskRoad and [MASKT] time indexes. Raw
+/// `times` are left untouched: the paper replaces only the embedding indexes,
+/// and the interval matrix ∆ keeps using the observed timestamps.
+SpanMaskInfo ApplySpanMask(View* view, int64_t span_len, double mask_ratio,
+                           common::Rng* rng);
+
+}  // namespace start::data
+
+#endif  // START_DATA_SPAN_MASK_H_

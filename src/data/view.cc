@@ -1,0 +1,37 @@
+#include "data/view.h"
+
+#include "common/check.h"
+
+namespace start::data {
+
+View MakeView(const traj::Trajectory& t) {
+  START_CHECK_GT(t.size(), 0);
+  View v;
+  v.roads = t.roads;
+  v.times.reserve(t.timestamps.size());
+  v.minute_idx.reserve(t.timestamps.size());
+  v.dow_idx.reserve(t.timestamps.size());
+  for (const int64_t ts : t.timestamps) {
+    v.times.push_back(static_cast<double>(ts));
+    v.minute_idx.push_back(traj::MinuteIndex(ts));
+    v.dow_idx.push_back(traj::DayOfWeekIndex(ts));
+  }
+  return v;
+}
+
+View MakeEtaView(const traj::Trajectory& t) {
+  START_CHECK_GT(t.size(), 0);
+  View v;
+  v.roads = t.roads;
+  const int64_t dep = t.departure_time();
+  const int64_t minute = traj::MinuteIndex(dep);
+  const int64_t dow = traj::DayOfWeekIndex(dep);
+  v.minute_idx.assign(t.roads.size(), minute);
+  v.dow_idx.assign(t.roads.size(), dow);
+  // Flat times: every pairwise interval is zero, so the adaptive interval
+  // matrix carries no leaked arrival-time information.
+  v.times.assign(t.roads.size(), static_cast<double>(dep));
+  return v;
+}
+
+}  // namespace start::data

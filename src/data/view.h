@@ -1,0 +1,43 @@
+#ifndef START_DATA_VIEW_H_
+#define START_DATA_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace start::data {
+
+/// Sentinel road id marking a [MASK]ed position inside a View.
+constexpr int64_t kMaskRoad = -2;
+/// Sentinel road id marking padding inside a batch.
+constexpr int64_t kPadRoad = -1;
+/// Temporal index 0 is the [MASKT] token (valid minute indexes are 1..1440,
+/// valid day-of-week indexes 1..7; Sec. III-B1).
+constexpr int64_t kMaskTimeIndex = 0;
+
+/// \brief Model-facing view of one trajectory: the road/time token sequence
+/// fed to the trajectory encoder, possibly with masked positions or
+/// augmentation applied.
+struct View {
+  std::vector<int64_t> roads;       ///< Road ids; kMaskRoad for [MASK].
+  std::vector<int64_t> minute_idx;  ///< 1..1440, or 0 for [MASKT].
+  std::vector<int64_t> dow_idx;     ///< 1..7, or 0 for [MASKT].
+  std::vector<double> times;        ///< Visit timestamps (s), drives ∆ (Eq. 8).
+  bool embedding_dropout = false;   ///< Dropout augmentation flag (Sec. III-C2).
+
+  int64_t size() const { return static_cast<int64_t>(roads.size()); }
+};
+
+/// Converts a trajectory into its unaugmented view.
+View MakeView(const traj::Trajectory& t);
+
+/// \brief View for the travel-time-estimation fine-tuning protocol: only the
+/// departure time is exposed (every position carries the departure-time
+/// embedding and ∆ is flat), per Sec. IV-D2 ("no time information is fed into
+/// the model during fine-tuning, except for the departure time").
+View MakeEtaView(const traj::Trajectory& t);
+
+}  // namespace start::data
+
+#endif  // START_DATA_VIEW_H_

@@ -1,0 +1,34 @@
+#include "eval/encoder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace start::eval {
+
+std::vector<float> TrajectoryEncoder::EmbedAll(
+    const std::vector<traj::Trajectory>& trajs, EncodeMode mode,
+    int64_t batch_size) {
+  START_CHECK_GT(batch_size, 0);
+  const int64_t n = static_cast<int64_t>(trajs.size());
+  std::vector<float> out(static_cast<size_t>(n * dim()));
+  SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  for (int64_t begin = 0; begin < n; begin += batch_size) {
+    const int64_t end = std::min(n, begin + batch_size);
+    std::vector<const traj::Trajectory*> batch;
+    batch.reserve(static_cast<size_t>(end - begin));
+    for (int64_t i = begin; i < end; ++i) {
+      batch.push_back(&trajs[static_cast<size_t>(i)]);
+    }
+    const tensor::Tensor reps = EncodeBatch(batch, mode);
+    START_CHECK_EQ(reps.dim(0), end - begin);
+    START_CHECK_EQ(reps.dim(1), dim());
+    std::memcpy(out.data() + begin * dim(), reps.data(),
+                static_cast<size_t>((end - begin) * dim()) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace start::eval

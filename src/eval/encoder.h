@@ -1,0 +1,49 @@
+#ifndef START_EVAL_ENCODER_H_
+#define START_EVAL_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "traj/trajectory.h"
+
+namespace start::eval {
+
+/// How much temporal information an encoder may consume.
+enum class EncodeMode {
+  kFull,           ///< Pre-training / similarity: full timestamps available.
+  kDepartureOnly,  ///< ETA fine-tuning protocol (Sec. IV-D2): only the
+                   ///< departure time is exposed.
+};
+
+/// \brief Common interface over START and every baseline: a model that maps
+/// trajectories to d-dimensional representations.
+///
+/// The downstream-task harness (eval/tasks.h) and the similarity protocols
+/// only see this interface, so Table II's per-model rows all run through
+/// identical task code.
+class TrajectoryEncoder {
+ public:
+  virtual ~TrajectoryEncoder() = default;
+
+  /// Representation dimensionality.
+  virtual int64_t dim() const = 0;
+
+  /// Encodes a batch with gradients (for fine-tuning). Returns [B, dim].
+  virtual tensor::Tensor EncodeBatch(
+      const std::vector<const traj::Trajectory*>& batch, EncodeMode mode) = 0;
+
+  /// Parameters updated during fine-tuning.
+  virtual std::vector<tensor::Tensor> TrainableParameters() = 0;
+
+  /// Toggles dropout etc.
+  virtual void SetTraining(bool training) = 0;
+
+  /// Convenience: embeds a corpus without gradients; row-major [n, dim].
+  std::vector<float> EmbedAll(const std::vector<traj::Trajectory>& trajs,
+                              EncodeMode mode, int64_t batch_size = 64);
+};
+
+}  // namespace start::eval
+
+#endif  // START_EVAL_ENCODER_H_

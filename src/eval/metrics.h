@@ -1,0 +1,48 @@
+#ifndef START_EVAL_METRICS_H_
+#define START_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace start::eval {
+
+/// \brief Regression metrics of the travel-time task (Sec. IV-C3).
+struct RegressionMetrics {
+  double mae = 0.0;   ///< Mean absolute error (same unit as inputs).
+  double mape = 0.0;  ///< Mean absolute percentage error, in percent.
+  double rmse = 0.0;  ///< Root mean squared error.
+};
+
+RegressionMetrics ComputeRegressionMetrics(const std::vector<double>& truth,
+                                           const std::vector<double>& pred);
+
+/// Fraction of exact matches.
+double Accuracy(const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& preds);
+
+/// F1 of the positive class (binary tasks).
+double BinaryF1(const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& preds, int64_t positive = 1);
+
+/// Area under the ROC curve from positive-class scores (rank statistic;
+/// ties get half credit).
+double BinaryAuc(const std::vector<int64_t>& labels,
+                 const std::vector<double>& scores);
+
+/// Micro-averaged F1; equals accuracy for single-label multi-class tasks.
+double MicroF1(const std::vector<int64_t>& labels,
+               const std::vector<int64_t>& preds);
+
+/// Macro-averaged F1 over `num_classes` classes (absent classes count 0).
+double MacroF1(const std::vector<int64_t>& labels,
+               const std::vector<int64_t>& preds, int64_t num_classes);
+
+/// Fraction of samples whose true class is within the top-k scores.
+/// `scores` is row-major [n, num_classes].
+double RecallAtK(const std::vector<int64_t>& labels,
+                 const std::vector<double>& scores, int64_t num_classes,
+                 int64_t k);
+
+}  // namespace start::eval
+
+#endif  // START_EVAL_METRICS_H_

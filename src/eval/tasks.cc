@@ -1,0 +1,223 @@
+#include "eval/tasks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace start::eval {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+std::vector<const traj::Trajectory*> MakeBatchPtrs(
+    const std::vector<traj::Trajectory>& trajs,
+    const std::vector<int64_t>& order, int64_t begin, int64_t end) {
+  std::vector<const traj::Trajectory*> out;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    out.push_back(&trajs[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+  }
+  return out;
+}
+
+}  // namespace
+
+EtaResult FinetuneEta(TrajectoryEncoder* encoder,
+                      const std::vector<traj::Trajectory>& train,
+                      const std::vector<traj::Trajectory>& test,
+                      const TaskConfig& config) {
+  START_CHECK(encoder != nullptr);
+  START_CHECK(!train.empty());
+  START_CHECK(!test.empty());
+  common::Rng rng(config.seed);
+  common::Rng head_rng = rng.Fork();
+  nn::Linear head(encoder->dim(), 1, &head_rng);
+
+  // Standardise the target (minutes) over the training split.
+  double mean = 0.0;
+  for (const auto& t : train) {
+    mean += static_cast<double>(t.TravelTimeSeconds()) / 60.0;
+  }
+  mean /= static_cast<double>(train.size());
+  double var = 0.0;
+  for (const auto& t : train) {
+    const double y = static_cast<double>(t.TravelTimeSeconds()) / 60.0 - mean;
+    var += y * y;
+  }
+  const double stddev =
+      std::sqrt(std::max(1e-8, var / static_cast<double>(train.size())));
+
+  std::vector<Tensor> params = head.Parameters();
+  if (config.finetune_encoder) {
+    for (auto& p : encoder->TrainableParameters()) params.push_back(p);
+  }
+  nn::AdamW opt(params, config.lr);
+  encoder->SetTraining(true);
+  head.SetTraining(true);
+
+  std::vector<int64_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  const int64_t n = static_cast<int64_t>(train.size());
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin + 1 < n; begin += config.batch_size) {
+      const int64_t end = std::min(n, begin + config.batch_size);
+      const auto batch = MakeBatchPtrs(train, order, begin, end);
+      std::vector<float> targets;
+      targets.reserve(batch.size());
+      for (const auto* t : batch) {
+        targets.push_back(static_cast<float>(
+            (static_cast<double>(t->TravelTimeSeconds()) / 60.0 - mean) /
+            stddev));
+      }
+      const Tensor reps =
+          encoder->EncodeBatch(batch, EncodeMode::kDepartureOnly);
+      const Tensor pred = head.Forward(reps);  // [B, 1]
+      Tensor loss = tensor::MseLoss(pred, targets);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(params, config.grad_clip);
+      opt.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    if (config.verbose) {
+      START_LOG(Info) << "eta epoch " << epoch << " mse "
+                      << epoch_loss / std::max<int64_t>(1, batches);
+    }
+  }
+
+  // Evaluate on the test split.
+  EtaResult result;
+  encoder->SetTraining(false);
+  head.SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  const int64_t tn = static_cast<int64_t>(test.size());
+  std::vector<int64_t> id_order(test.size());
+  for (size_t i = 0; i < id_order.size(); ++i) {
+    id_order[i] = static_cast<int64_t>(i);
+  }
+  for (int64_t begin = 0; begin < tn; begin += config.batch_size) {
+    const int64_t end = std::min(tn, begin + config.batch_size);
+    const auto batch = MakeBatchPtrs(test, id_order, begin, end);
+    const Tensor reps =
+        encoder->EncodeBatch(batch, EncodeMode::kDepartureOnly);
+    const Tensor pred = head.Forward(reps);
+    for (int64_t i = 0; i < end - begin; ++i) {
+      result.pred_minutes.push_back(
+          static_cast<double>(pred.data()[i]) * stddev + mean);
+      result.true_minutes.push_back(
+          static_cast<double>(batch[static_cast<size_t>(i)]
+                                  ->TravelTimeSeconds()) /
+          60.0);
+    }
+  }
+  result.metrics =
+      ComputeRegressionMetrics(result.true_minutes, result.pred_minutes);
+  return result;
+}
+
+ClassificationResult FinetuneClassification(
+    TrajectoryEncoder* encoder, const std::vector<traj::Trajectory>& train,
+    const std::vector<traj::Trajectory>& test, const LabelFn& label_fn,
+    int64_t num_classes, int64_t recall_k, const TaskConfig& config) {
+  START_CHECK(encoder != nullptr);
+  START_CHECK_GT(num_classes, 1);
+  common::Rng rng(config.seed);
+  common::Rng head_rng = rng.Fork();
+  nn::Linear head(encoder->dim(), num_classes, &head_rng);
+
+  std::vector<Tensor> params = head.Parameters();
+  if (config.finetune_encoder) {
+    for (auto& p : encoder->TrainableParameters()) params.push_back(p);
+  }
+  nn::AdamW opt(params, config.lr);
+  encoder->SetTraining(true);
+  head.SetTraining(true);
+
+  std::vector<int64_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  const int64_t n = static_cast<int64_t>(train.size());
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin + 1 < n; begin += config.batch_size) {
+      const int64_t end = std::min(n, begin + config.batch_size);
+      const auto batch = MakeBatchPtrs(train, order, begin, end);
+      std::vector<int64_t> labels;
+      labels.reserve(batch.size());
+      for (const auto* t : batch) {
+        const int64_t y = label_fn(*t);
+        START_CHECK(y >= 0 && y < num_classes);
+        labels.push_back(y);
+      }
+      const Tensor reps = encoder->EncodeBatch(batch, EncodeMode::kFull);
+      const Tensor logits = head.Forward(reps);
+      Tensor loss = tensor::CrossEntropyWithLogits(logits, labels);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(params, config.grad_clip);
+      opt.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    if (config.verbose) {
+      START_LOG(Info) << "cls epoch " << epoch << " ce "
+                      << epoch_loss / std::max<int64_t>(1, batches);
+    }
+  }
+
+  ClassificationResult result;
+  encoder->SetTraining(false);
+  head.SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  std::vector<double> pos_scores;       // binary AUC
+  std::vector<double> all_scores;       // Recall@k
+  const int64_t tn = static_cast<int64_t>(test.size());
+  std::vector<int64_t> id_order(test.size());
+  for (size_t i = 0; i < id_order.size(); ++i) {
+    id_order[i] = static_cast<int64_t>(i);
+  }
+  for (int64_t begin = 0; begin < tn; begin += config.batch_size) {
+    const int64_t end = std::min(tn, begin + config.batch_size);
+    const auto batch = MakeBatchPtrs(test, id_order, begin, end);
+    const Tensor reps = encoder->EncodeBatch(batch, EncodeMode::kFull);
+    const Tensor probs = tensor::SoftmaxLastDim(head.Forward(reps));
+    for (int64_t i = 0; i < end - begin; ++i) {
+      const float* row = probs.data() + i * num_classes;
+      int64_t argmax = 0;
+      for (int64_t c = 1; c < num_classes; ++c) {
+        if (row[c] > row[argmax]) argmax = c;
+      }
+      result.predictions.push_back(argmax);
+      result.labels.push_back(label_fn(*batch[static_cast<size_t>(i)]));
+      if (num_classes == 2) pos_scores.push_back(row[1]);
+      for (int64_t c = 0; c < num_classes; ++c) {
+        all_scores.push_back(row[c]);
+      }
+    }
+  }
+  result.accuracy = Accuracy(result.labels, result.predictions);
+  result.micro_f1 = MicroF1(result.labels, result.predictions);
+  result.macro_f1 = MacroF1(result.labels, result.predictions, num_classes);
+  result.recall_at_k =
+      RecallAtK(result.labels, all_scores, num_classes, recall_k);
+  if (num_classes == 2) {
+    result.f1 = BinaryF1(result.labels, result.predictions);
+    result.auc = BinaryAuc(result.labels, pos_scores);
+  }
+  return result;
+}
+
+}  // namespace start::eval

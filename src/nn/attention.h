@@ -1,0 +1,68 @@
+#ifndef START_NN_ATTENTION_H_
+#define START_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace start::nn {
+
+/// \brief Multi-head self-attention with an optional additive score bias.
+///
+/// The bias hook is how START's Time Interval-Aware Self-Attention (Eq. 7)
+/// plugs in: the caller passes ∆̃ (+ padding mask) as a [B, L, L] tensor that
+/// is added to Q Kᵀ/√d′ before the softmax. Passing an undefined tensor gives
+/// the standard Transformer attention (Eq. 6).
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, common::Rng* rng,
+                         float dropout = 0.1f);
+
+  /// x is [B, L, dim]; score_bias (optional) is [B, L, L], added to every
+  /// head's pre-softmax scores. Returns [B, L, dim].
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& score_bias) const;
+
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+  float dropout_;
+};
+
+/// \brief Post-LN Transformer encoder layer: MHSA + residual + LayerNorm,
+/// then FFN + residual + LayerNorm (Sec. III-B2 of the paper / [11]).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t dim, int64_t num_heads, int64_t ffn_dim,
+                          common::Rng* rng, float dropout = 0.1f);
+
+  /// x [B,L,dim], score_bias optional [B,L,L] (see MultiHeadSelfAttention).
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& score_bias) const;
+
+ private:
+  MultiHeadSelfAttention attn_;
+  FeedForward ffn_;
+  LayerNormLayer ln1_;
+  LayerNormLayer ln2_;
+  float dropout_;
+};
+
+/// Builds the additive padding-mask bias [B, L, L]: entry (b, i, j) is 0 when
+/// position j is a real token of sequence b and -1e9 when it is padding.
+/// `lengths[b]` is the number of valid tokens of sequence b.
+tensor::Tensor MakePaddingBias(const std::vector<int64_t>& lengths,
+                               int64_t max_len);
+
+}  // namespace start::nn
+
+#endif  // START_NN_ATTENTION_H_

@@ -1,0 +1,28 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace start::nn {
+
+tensor::Tensor XavierUniform(const tensor::Shape& shape, common::Rng* rng,
+                             float gain) {
+  START_CHECK_GE(shape.ndim(), 2);
+  const int64_t fan_in = shape.dim(0);
+  const int64_t fan_out = shape.dim(-1);
+  const float a =
+      gain * std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::Rand(shape, rng, -a, a);
+}
+
+tensor::Tensor NormalInit(const tensor::Shape& shape, common::Rng* rng,
+                          float stddev) {
+  return tensor::Tensor::RandN(shape, rng, 0.0f, stddev);
+}
+
+tensor::Tensor ZerosInit(const tensor::Shape& shape) {
+  return tensor::Tensor::Zeros(shape);
+}
+
+}  // namespace start::nn

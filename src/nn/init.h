@@ -1,0 +1,24 @@
+#ifndef START_NN_INIT_H_
+#define START_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace start::nn {
+
+/// Glorot/Xavier uniform initialisation: U(-a, a) with
+/// a = gain * sqrt(6 / (fan_in + fan_out)). For 2-D weights fan_in/fan_out
+/// are the two dims; for embeddings use NormalInit instead.
+tensor::Tensor XavierUniform(const tensor::Shape& shape, common::Rng* rng,
+                             float gain = 1.0f);
+
+/// N(0, std^2) initialisation (used for embedding tables; std 0.02 as BERT).
+tensor::Tensor NormalInit(const tensor::Shape& shape, common::Rng* rng,
+                          float stddev = 0.02f);
+
+/// Zero initialisation (biases).
+tensor::Tensor ZerosInit(const tensor::Shape& shape);
+
+}  // namespace start::nn
+
+#endif  // START_NN_INIT_H_

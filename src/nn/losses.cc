@@ -1,0 +1,65 @@
+#include "nn/losses.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace start::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor NtXentLoss(const Tensor& reps, float tau) {
+  START_CHECK_EQ(reps.ndim(), 2);
+  const int64_t n2 = reps.dim(0);
+  START_CHECK_MSG(n2 % 2 == 0 && n2 >= 4,
+                  "NT-Xent needs an even row count >= 4, got " << n2);
+  START_CHECK_GT(tau, 0.0f);
+  const Tensor normalized = tensor::L2NormalizeRows(reps);
+  Tensor sim = tensor::MatMul(normalized, tensor::Transpose(normalized));
+  sim = tensor::Scale(sim, 1.0f / tau);
+  // Mask self-similarity so an anchor cannot pick itself (the indicator
+  // 1[k != i] in Eq. 14).
+  std::vector<float> diag_mask(static_cast<size_t>(n2 * n2), 0.0f);
+  for (int64_t i = 0; i < n2; ++i) {
+    diag_mask[static_cast<size_t>(i * n2 + i)] = -1e9f;
+  }
+  sim = tensor::Add(
+      sim, Tensor::FromVector(Shape({n2, n2}), std::move(diag_mask)));
+  // Row i's positive is its partner view (rows are laid out in pairs).
+  std::vector<int64_t> targets(static_cast<size_t>(n2));
+  for (int64_t i = 0; i < n2; ++i) {
+    targets[static_cast<size_t>(i)] = i ^ 1;
+  }
+  return tensor::CrossEntropyWithLogits(sim, targets);
+}
+
+Tensor InfoNceLoss(const Tensor& global, const Tensor& locals,
+                   const std::vector<int64_t>& lengths) {
+  START_CHECK_EQ(global.ndim(), 2);
+  START_CHECK_EQ(locals.ndim(), 3);
+  const int64_t b = global.dim(0), d = global.dim(1);
+  const int64_t l = locals.dim(1);
+  START_CHECK_EQ(locals.dim(0), b);
+  START_CHECK_EQ(locals.dim(2), d);
+  START_CHECK_EQ(static_cast<int64_t>(lengths.size()), b);
+  const Tensor locals_flat = tensor::Reshape(locals, Shape({b * l, d}));
+  // scores[b1, b2 * L + t] = <global[b1], locals[b2, t]>
+  const Tensor scores =
+      tensor::MatMul(global, tensor::Transpose(locals_flat));  // [B, B*L]
+  const Tensor scores_col = tensor::Reshape(scores, Shape({b * b * l, 1}));
+  std::vector<int64_t> valid_rows;
+  std::vector<float> targets;
+  for (int64_t b1 = 0; b1 < b; ++b1) {
+    for (int64_t b2 = 0; b2 < b; ++b2) {
+      for (int64_t t = 0; t < lengths[static_cast<size_t>(b2)]; ++t) {
+        valid_rows.push_back(b1 * b * l + b2 * l + t);
+        targets.push_back(b1 == b2 ? 1.0f : 0.0f);
+      }
+    }
+  }
+  const Tensor gathered = tensor::GatherRows(scores_col, valid_rows);
+  return tensor::BceWithLogits(gathered, targets);
+}
+
+}  // namespace start::nn

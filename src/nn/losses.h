@@ -1,0 +1,31 @@
+#ifndef START_NN_LOSSES_H_
+#define START_NN_LOSSES_H_
+
+#include <cstdint>
+
+#include "tensor/ops.h"
+
+namespace start::nn {
+
+/// \brief Normalised temperature-scaled cross entropy (NT-Xent) with in-batch
+/// negatives — the paper's contrastive objective (Eq. 14, following SimCLR).
+///
+/// `reps` is [2N, d] laid out as consecutive positive pairs: rows (2i, 2i+1)
+/// are the two augmented views of trajectory i. Every row is trained to pick
+/// its partner among the 2(N-1) other rows with cosine similarity scaled by
+/// 1/tau. Returns the mean loss over all 2N anchors.
+tensor::Tensor NtXentLoss(const tensor::Tensor& reps, float tau);
+
+/// \brief Jensen-Shannon style InfoNCE mutual-information objective used by
+/// the PIM baseline [18]: for each sequence, its global representation
+/// `global` [B, d] is scored against local step representations `locals`
+/// [B, L, d] of every sequence in the batch; same-sequence pairs are
+/// positives, cross-sequence pairs negatives (BCE on bilinear scores).
+/// `lengths` marks valid steps of each sequence.
+tensor::Tensor InfoNceLoss(const tensor::Tensor& global,
+                           const tensor::Tensor& locals,
+                           const std::vector<int64_t>& lengths);
+
+}  // namespace start::nn
+
+#endif  // START_NN_LOSSES_H_

@@ -1,0 +1,95 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace start::nn {
+
+Optimizer::Optimizer(std::vector<tensor::Tensor> params)
+    : params_(std::move(params)) {
+  for (auto& p : params_) {
+    START_CHECK(p.defined());
+    START_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<tensor::Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ != 0.0) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad();
+    const int64_t n = p.numel();
+    if (momentum_ == 0.0) {
+      for (int64_t j = 0; j < n; ++j) {
+        w[j] -= static_cast<float>(lr_) * g[j];
+      }
+    } else {
+      float* vel = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        vel[j] = static_cast<float>(momentum_) * vel[j] + g[j];
+        w[j] -= static_cast<float>(lr_) * vel[j];
+      }
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<tensor::Tensor> params, double lr, double beta1,
+             double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void AdamW::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g[j]);
+      v[j] = static_cast<float>(beta2_ * v[j] +
+                                (1.0 - beta2_) * static_cast<double>(g[j]) *
+                                    g[j]);
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      // Decoupled weight decay (AdamW): decay applied directly to weights.
+      w[j] -= static_cast<float>(lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                                        weight_decay_ * w[j]));
+    }
+  }
+}
+
+}  // namespace start::nn

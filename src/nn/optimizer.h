@@ -1,0 +1,62 @@
+#ifndef START_NN_OPTIMIZER_H_
+#define START_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace start::nn {
+
+/// \brief Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the parameters' current gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ protected:
+  std::vector<tensor::Tensor> params_;
+  double lr_ = 1e-3;
+};
+
+/// \brief SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> params, double lr, double momentum = 0.0);
+
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// \brief AdamW (decoupled weight decay) — the paper's optimizer [29].
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<tensor::Tensor> params, double lr, double beta1 = 0.9,
+        double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.01);
+
+  void Step() override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace start::nn
+
+#endif  // START_NN_OPTIMIZER_H_

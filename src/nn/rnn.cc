@@ -1,0 +1,134 @@
+#include "nn/rnn.h"
+
+#include "common/check.h"
+
+namespace start::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, common::Rng* rng)
+    : hidden_dim_(hidden_dim),
+      ih_(input_dim, 3 * hidden_dim, rng),
+      hh_(hidden_dim, 3 * hidden_dim, rng) {
+  RegisterModule("ih", &ih_);
+  RegisterModule("hh", &hh_);
+}
+
+Tensor GruCell::Step(const Tensor& x, const Tensor& h) const {
+  const Tensor gi = ih_.Forward(x);  // [B, 3h]
+  const Tensor gh = hh_.Forward(h);
+  const int64_t hd = hidden_dim_;
+  const Tensor r = tensor::Sigmoid(tensor::Add(tensor::Slice(gi, 1, 0, hd),
+                                               tensor::Slice(gh, 1, 0, hd)));
+  const Tensor z = tensor::Sigmoid(tensor::Add(tensor::Slice(gi, 1, hd, hd),
+                                               tensor::Slice(gh, 1, hd, hd)));
+  const Tensor n = tensor::Tanh(tensor::Add(
+      tensor::Slice(gi, 1, 2 * hd, hd),
+      tensor::Mul(r, tensor::Slice(gh, 1, 2 * hd, hd))));
+  // h' = (1 - z) * n + z * h
+  return tensor::Add(tensor::Mul(tensor::AddScalar(tensor::Neg(z), 1.0f), n),
+                     tensor::Mul(z, h));
+}
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, common::Rng* rng)
+    : hidden_dim_(hidden_dim),
+      ih_(input_dim, 4 * hidden_dim, rng),
+      hh_(hidden_dim, 4 * hidden_dim, rng) {
+  RegisterModule("ih", &ih_);
+  RegisterModule("hh", &hh_);
+}
+
+LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
+  const Tensor g = tensor::Add(ih_.Forward(x), hh_.Forward(state.h));
+  const int64_t hd = hidden_dim_;
+  const Tensor i = tensor::Sigmoid(tensor::Slice(g, 1, 0, hd));
+  const Tensor f = tensor::Sigmoid(tensor::Slice(g, 1, hd, hd));
+  const Tensor c_hat = tensor::Tanh(tensor::Slice(g, 1, 2 * hd, hd));
+  const Tensor o = tensor::Sigmoid(tensor::Slice(g, 1, 3 * hd, hd));
+  State next;
+  next.c = tensor::Add(tensor::Mul(f, state.c), tensor::Mul(i, c_hat));
+  next.h = tensor::Mul(o, tensor::Tanh(next.c));
+  return next;
+}
+
+namespace {
+
+/// Step mask [B,1]: 1 while t < lengths[b], else 0 (freezes padded states).
+Tensor StepMask(const std::vector<int64_t>& lengths, int64_t t) {
+  std::vector<float> m(lengths.size());
+  for (size_t b = 0; b < lengths.size(); ++b) {
+    m[b] = t < lengths[b] ? 1.0f : 0.0f;
+  }
+  return Tensor::FromVector(
+      Shape({static_cast<int64_t>(lengths.size()), 1}), std::move(m));
+}
+
+Tensor MaskedUpdate(const Tensor& fresh, const Tensor& previous,
+                    const Tensor& mask) {
+  // mask * fresh + (1 - mask) * previous
+  return tensor::Add(
+      tensor::Mul(mask, fresh),
+      tensor::Mul(tensor::AddScalar(tensor::Neg(mask), 1.0f), previous));
+}
+
+}  // namespace
+
+Gru::Gru(int64_t input_dim, int64_t hidden_dim, common::Rng* rng)
+    : cell_(input_dim, hidden_dim, rng) {
+  RegisterModule("cell", &cell_);
+}
+
+Gru::Output Gru::Forward(const Tensor& x,
+                         const std::vector<int64_t>& lengths) const {
+  START_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), l = x.dim(1), in = x.dim(2);
+  START_CHECK_EQ(static_cast<int64_t>(lengths.size()), b);
+  const int64_t hd = cell_.hidden_dim();
+  Tensor h = Tensor::Zeros(Shape({b, hd}));
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(l));
+  for (int64_t t = 0; t < l; ++t) {
+    const Tensor xt =
+        tensor::Reshape(tensor::Slice(x, 1, t, 1), Shape({b, in}));
+    const Tensor fresh = cell_.Step(xt, h);
+    h = MaskedUpdate(fresh, h, StepMask(lengths, t));
+    outputs.push_back(tensor::Reshape(h, Shape({b, 1, hd})));
+  }
+  Output out;
+  out.outputs = tensor::Concat(outputs, 1);
+  out.last_hidden = h;
+  return out;
+}
+
+Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, common::Rng* rng)
+    : cell_(input_dim, hidden_dim, rng) {
+  RegisterModule("cell", &cell_);
+}
+
+Lstm::Output Lstm::Forward(const Tensor& x,
+                           const std::vector<int64_t>& lengths) const {
+  START_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), l = x.dim(1), in = x.dim(2);
+  START_CHECK_EQ(static_cast<int64_t>(lengths.size()), b);
+  const int64_t hd = cell_.hidden_dim();
+  LstmCell::State state{Tensor::Zeros(Shape({b, hd})),
+                        Tensor::Zeros(Shape({b, hd}))};
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(l));
+  for (int64_t t = 0; t < l; ++t) {
+    const Tensor xt =
+        tensor::Reshape(tensor::Slice(x, 1, t, 1), Shape({b, in}));
+    const LstmCell::State fresh = cell_.Step(xt, state);
+    const Tensor mask = StepMask(lengths, t);
+    state.h = MaskedUpdate(fresh.h, state.h, mask);
+    state.c = MaskedUpdate(fresh.c, state.c, mask);
+    outputs.push_back(tensor::Reshape(state.h, Shape({b, 1, hd})));
+  }
+  Output out;
+  out.outputs = tensor::Concat(outputs, 1);
+  out.last_hidden = state.h;
+  return out;
+}
+
+}  // namespace start::nn

@@ -1,0 +1,90 @@
+#ifndef START_NN_RNN_H_
+#define START_NN_RNN_H_
+
+#include <utility>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace start::nn {
+
+/// \brief Single GRU cell (used by the t2vec/traj2vec/Trembr baselines).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, common::Rng* rng);
+
+  /// One step: x [B, input_dim], h [B, hidden_dim] -> new h.
+  tensor::Tensor Step(const tensor::Tensor& x, const tensor::Tensor& h) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear ih_;  // input -> 3h (reset | update | candidate)
+  Linear hh_;  // hidden -> 3h
+};
+
+/// \brief Single LSTM cell (used by the PIM baseline).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_dim, int64_t hidden_dim, common::Rng* rng);
+
+  struct State {
+    tensor::Tensor h;
+    tensor::Tensor c;
+  };
+
+  State Step(const tensor::Tensor& x, const State& state) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear ih_;  // input -> 4h (input | forget | cell | output)
+  Linear hh_;
+};
+
+/// \brief Unidirectional GRU over a padded batch.
+///
+/// Padded steps (t >= lengths[b]) freeze the hidden state of sequence b so the
+/// final state equals the state at each sequence's true end.
+class Gru : public Module {
+ public:
+  Gru(int64_t input_dim, int64_t hidden_dim, common::Rng* rng);
+
+  struct Output {
+    tensor::Tensor outputs;     ///< [B, L, hidden]
+    tensor::Tensor last_hidden; ///< [B, hidden]
+  };
+
+  /// x [B, L, input_dim]; lengths per sequence (all in [1, L]).
+  Output Forward(const tensor::Tensor& x,
+                 const std::vector<int64_t>& lengths) const;
+
+  const GruCell& cell() const { return cell_; }
+
+ private:
+  GruCell cell_;
+};
+
+/// \brief Unidirectional LSTM over a padded batch (see Gru for padding rules).
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_dim, int64_t hidden_dim, common::Rng* rng);
+
+  struct Output {
+    tensor::Tensor outputs;     ///< [B, L, hidden]
+    tensor::Tensor last_hidden; ///< [B, hidden]
+  };
+
+  Output Forward(const tensor::Tensor& x,
+                 const std::vector<int64_t>& lengths) const;
+
+ private:
+  LstmCell cell_;
+};
+
+}  // namespace start::nn
+
+#endif  // START_NN_RNN_H_

@@ -1,0 +1,35 @@
+#include "nn/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace start::nn {
+
+WarmupCosineSchedule::WarmupCosineSchedule(double base_lr,
+                                           int64_t warmup_steps,
+                                           int64_t total_steps, double min_lr)
+    : base_lr_(base_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps),
+      min_lr_(min_lr) {
+  START_CHECK_GE(warmup_steps, 0);
+  START_CHECK_GT(total_steps, 0);
+  START_CHECK_LE(warmup_steps, total_steps);
+}
+
+double WarmupCosineSchedule::LrAt(int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return base_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  const int64_t decay_steps = std::max<int64_t>(1, total_steps_ - warmup_steps_);
+  const double progress =
+      std::min(1.0, static_cast<double>(step - warmup_steps_) /
+                        static_cast<double>(decay_steps));
+  return min_lr_ +
+         0.5 * (base_lr_ - min_lr_) * (1.0 + std::cos(M_PI * progress));
+}
+
+}  // namespace start::nn

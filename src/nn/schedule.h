@@ -1,0 +1,30 @@
+#ifndef START_NN_SCHEDULE_H_
+#define START_NN_SCHEDULE_H_
+
+#include <cstdint>
+
+namespace start::nn {
+
+/// \brief Linear warm-up followed by cosine annealing — the paper's schedule
+/// (Sec. IV-C2: "increase lr linearly for the first five epochs and decrease
+/// it after using a cosine annealing schedule").
+class WarmupCosineSchedule {
+ public:
+  /// base_lr is reached at step == warmup_steps; afterwards the rate anneals
+  /// to min_lr at total_steps following a half cosine.
+  WarmupCosineSchedule(double base_lr, int64_t warmup_steps,
+                       int64_t total_steps, double min_lr = 0.0);
+
+  /// Learning rate for 0-based step `step`.
+  double LrAt(int64_t step) const;
+
+ private:
+  double base_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+  double min_lr_;
+};
+
+}  // namespace start::nn
+
+#endif  // START_NN_SCHEDULE_H_

@@ -1,0 +1,245 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace start::roadnet {
+
+std::string_view RoadTypeName(RoadType type) {
+  switch (type) {
+    case RoadType::kMotorway:
+      return "motorway";
+    case RoadType::kPrimary:
+      return "primary";
+    case RoadType::kSecondary:
+      return "secondary";
+    case RoadType::kTertiary:
+      return "tertiary";
+    case RoadType::kResidential:
+      return "residential";
+  }
+  return "unknown";
+}
+
+int64_t RoadNetwork::AddSegment(RoadSegment segment) {
+  START_CHECK(!finalized_);
+  const int64_t id = static_cast<int64_t>(segments_.size());
+  segment.id = id;
+  segments_.push_back(segment);
+  return id;
+}
+
+void RoadNetwork::AddEdge(int64_t from, int64_t to) {
+  START_CHECK(!finalized_);
+  CheckId(from);
+  CheckId(to);
+  pending_edges_.emplace_back(from, to);
+}
+
+void RoadNetwork::CheckId(int64_t id) const {
+  START_CHECK_MSG(id >= 0 && id < num_segments(),
+                  "segment id " << id << " out of range");
+}
+
+void RoadNetwork::Finalize() {
+  if (finalized_) return;
+  // De-duplicate edges.
+  std::sort(pending_edges_.begin(), pending_edges_.end());
+  pending_edges_.erase(
+      std::unique(pending_edges_.begin(), pending_edges_.end()),
+      pending_edges_.end());
+  const int64_t v = num_segments();
+  const int64_t e = static_cast<int64_t>(pending_edges_.size());
+  edge_src_.resize(static_cast<size_t>(e));
+  edge_dst_.resize(static_cast<size_t>(e));
+  for (int64_t i = 0; i < e; ++i) {
+    edge_src_[static_cast<size_t>(i)] = pending_edges_[static_cast<size_t>(i)].first;
+    edge_dst_[static_cast<size_t>(i)] = pending_edges_[static_cast<size_t>(i)].second;
+  }
+  // CSR out-adjacency (pending_edges_ is sorted by (src, dst)).
+  out_offsets_.assign(static_cast<size_t>(v + 1), 0);
+  out_targets_.resize(static_cast<size_t>(e));
+  for (const auto& [from, to] : pending_edges_) {
+    ++out_offsets_[static_cast<size_t>(from + 1)];
+  }
+  for (int64_t i = 0; i < v; ++i) {
+    out_offsets_[static_cast<size_t>(i + 1)] +=
+        out_offsets_[static_cast<size_t>(i)];
+  }
+  {
+    std::vector<int64_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+    for (const auto& [from, to] : pending_edges_) {
+      out_targets_[static_cast<size_t>(cursor[static_cast<size_t>(from)]++)] =
+          to;
+    }
+  }
+  // CSR in-adjacency.
+  in_offsets_.assign(static_cast<size_t>(v + 1), 0);
+  in_sources_.resize(static_cast<size_t>(e));
+  for (const auto& [from, to] : pending_edges_) {
+    ++in_offsets_[static_cast<size_t>(to + 1)];
+  }
+  for (int64_t i = 0; i < v; ++i) {
+    in_offsets_[static_cast<size_t>(i + 1)] +=
+        in_offsets_[static_cast<size_t>(i)];
+  }
+  {
+    std::vector<int64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (const auto& [from, to] : pending_edges_) {
+      in_sources_[static_cast<size_t>(cursor[static_cast<size_t>(to)]++)] =
+          from;
+    }
+  }
+  pending_edges_.clear();
+  pending_edges_.shrink_to_fit();
+  finalized_ = true;
+}
+
+const RoadSegment& RoadNetwork::segment(int64_t id) const {
+  CheckId(id);
+  return segments_[static_cast<size_t>(id)];
+}
+
+std::vector<int64_t> RoadNetwork::OutNeighbors(int64_t v) const {
+  START_CHECK(finalized_);
+  CheckId(v);
+  return {out_targets_.begin() + out_offsets_[static_cast<size_t>(v)],
+          out_targets_.begin() + out_offsets_[static_cast<size_t>(v + 1)]};
+}
+
+std::vector<int64_t> RoadNetwork::InNeighbors(int64_t v) const {
+  START_CHECK(finalized_);
+  CheckId(v);
+  return {in_sources_.begin() + in_offsets_[static_cast<size_t>(v)],
+          in_sources_.begin() + in_offsets_[static_cast<size_t>(v + 1)]};
+}
+
+int64_t RoadNetwork::OutDegree(int64_t v) const {
+  START_CHECK(finalized_);
+  CheckId(v);
+  return out_offsets_[static_cast<size_t>(v + 1)] -
+         out_offsets_[static_cast<size_t>(v)];
+}
+
+int64_t RoadNetwork::InDegree(int64_t v) const {
+  START_CHECK(finalized_);
+  CheckId(v);
+  return in_offsets_[static_cast<size_t>(v + 1)] -
+         in_offsets_[static_cast<size_t>(v)];
+}
+
+bool RoadNetwork::HasEdge(int64_t from, int64_t to) const {
+  START_CHECK(finalized_);
+  CheckId(from);
+  CheckId(to);
+  const auto begin =
+      out_targets_.begin() + out_offsets_[static_cast<size_t>(from)];
+  const auto end =
+      out_targets_.begin() + out_offsets_[static_cast<size_t>(from + 1)];
+  return std::binary_search(begin, end, to);
+}
+
+double RoadNetwork::FreeFlowTravelTime(int64_t v) const {
+  const RoadSegment& s = segment(v);
+  START_CHECK_GT(s.maxspeed_mps, 0.0);
+  return s.length_m / s.maxspeed_mps;
+}
+
+std::vector<float> RoadNetwork::BuildFeatureMatrix() const {
+  START_CHECK(finalized_);
+  const int64_t v = num_segments();
+  const int64_t fd = FeatureDim();
+  std::vector<float> features(static_cast<size_t>(v * fd), 0.0f);
+  // Numeric columns: length, lanes, maxspeed, in_deg, out_deg.
+  struct Stats {
+    double sum = 0.0, sq = 0.0;
+    void Add(double x) {
+      sum += x;
+      sq += x * x;
+    }
+    double Mean(int64_t n) const { return sum / static_cast<double>(n); }
+    double Std(int64_t n) const {
+      const double m = Mean(n);
+      return std::sqrt(std::max(1e-12, sq / static_cast<double>(n) - m * m));
+    }
+  };
+  constexpr int kNumNumeric = 9;
+  Stats st[kNumNumeric];
+  auto numeric = [&](int64_t i, double* out) {
+    const RoadSegment& s = segments_[static_cast<size_t>(i)];
+    const double heading = std::atan2(s.y1 - s.y0, s.x1 - s.x0);
+    out[0] = s.length_m;
+    out[1] = static_cast<double>(s.lanes);
+    out[2] = s.maxspeed_mps;
+    out[3] = static_cast<double>(InDegree(i));
+    out[4] = static_cast<double>(OutDegree(i));
+    out[5] = s.MidX();
+    out[6] = s.MidY();
+    out[7] = std::sin(heading);
+    out[8] = std::cos(heading);
+  };
+  for (int64_t i = 0; i < v; ++i) {
+    double raw[kNumNumeric];
+    numeric(i, raw);
+    for (int k = 0; k < kNumNumeric; ++k) st[k].Add(raw[k]);
+  }
+  for (int64_t i = 0; i < v; ++i) {
+    const RoadSegment& s = segments_[static_cast<size_t>(i)];
+    float* row = features.data() + i * fd;
+    row[static_cast<int32_t>(s.type)] = 1.0f;
+    double raw[kNumNumeric];
+    numeric(i, raw);
+    for (int k = 0; k < kNumNumeric; ++k) {
+      row[kNumRoadTypes + k] =
+          static_cast<float>((raw[k] - st[k].Mean(v)) / st[k].Std(v));
+    }
+  }
+  return features;
+}
+
+TransferProbability TransferProbability::FromTrajectories(
+    const RoadNetwork& net,
+    const std::vector<std::vector<int64_t>>& road_sequences) {
+  TransferProbability tp;
+  tp.visit_counts_.assign(static_cast<size_t>(net.num_segments()), 0);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (const auto& seq : road_sequences) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      START_CHECK_MSG(seq[i] >= 0 && seq[i] < net.num_segments(),
+                      "road id " << seq[i]);
+      ++tp.visit_counts_[static_cast<size_t>(seq[i])];
+      if (i + 1 < seq.size()) pairs.emplace_back(seq[i], seq[i + 1]);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  for (size_t i = 0; i < pairs.size();) {
+    size_t j = i;
+    while (j < pairs.size() && pairs[j] == pairs[i]) ++j;
+    tp.pair_keys_.push_back(pairs[i]);
+    tp.pair_counts_.push_back(static_cast<int64_t>(j - i));
+    i = j;
+  }
+  return tp;
+}
+
+double TransferProbability::Prob(int64_t from, int64_t to) const {
+  START_CHECK_MSG(from >= 0 && from < num_segments(), "road id " << from);
+  const int64_t visits = visit_counts_[static_cast<size_t>(from)];
+  if (visits == 0) return 0.0;
+  const auto it = std::lower_bound(pair_keys_.begin(), pair_keys_.end(),
+                                   std::make_pair(from, to));
+  if (it == pair_keys_.end() || *it != std::make_pair(from, to)) return 0.0;
+  const size_t idx = static_cast<size_t>(it - pair_keys_.begin());
+  return static_cast<double>(pair_counts_[idx]) /
+         static_cast<double>(visits);
+}
+
+int64_t TransferProbability::VisitCount(int64_t road) const {
+  START_CHECK_MSG(road >= 0 && road < num_segments(), "road id " << road);
+  return visit_counts_[static_cast<size_t>(road)];
+}
+
+}  // namespace start::roadnet

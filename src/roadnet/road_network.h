@@ -1,0 +1,143 @@
+#ifndef START_ROADNET_ROAD_NETWORK_H_
+#define START_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace start::roadnet {
+
+/// \brief OSM-style functional class of a road segment (Definition 1's
+/// "road type" feature).
+enum class RoadType : int32_t {
+  kMotorway = 0,
+  kPrimary = 1,
+  kSecondary = 2,
+  kTertiary = 3,
+  kResidential = 4,
+};
+
+constexpr int32_t kNumRoadTypes = 5;
+
+std::string_view RoadTypeName(RoadType type);
+
+/// \brief A directed road segment — a vertex of the road network graph G
+/// (Definition 1: vertices are road segments, edges are intersections).
+struct RoadSegment {
+  int64_t id = -1;
+  RoadType type = RoadType::kResidential;
+  double length_m = 0.0;      ///< Segment length in meters.
+  int32_t lanes = 1;          ///< Number of lanes.
+  double maxspeed_mps = 8.3;  ///< Free-flow speed limit in m/s.
+  // Endpoint geometry in a local metric frame (meters); used by the GPS
+  // simulator, map matcher and the point-based similarity measures.
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+
+  double MidX() const { return 0.5 * (x0 + x1); }
+  double MidY() const { return 0.5 * (y0 + y1); }
+};
+
+/// \brief Directed road-network graph G = (V, E, F_V, A) of Definition 1.
+///
+/// Vertices are road segments; a directed edge (u, v) means a vehicle can
+/// continue from segment u onto segment v through a shared intersection.
+/// After Finalize() the adjacency is frozen into CSR form and per-vertex
+/// in/out degrees are available.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  /// Adds a segment; its `id` field is overwritten with the assigned id.
+  int64_t AddSegment(RoadSegment segment);
+
+  /// Adds a directed connectivity edge between two segments. Must be called
+  /// before Finalize(); duplicate edges are ignored at Finalize() time.
+  void AddEdge(int64_t from, int64_t to);
+
+  /// Freezes the graph and builds CSR adjacency. Idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  int64_t num_segments() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+  int64_t num_edges() const { return static_cast<int64_t>(edge_src_.size()); }
+
+  const RoadSegment& segment(int64_t id) const;
+
+  /// Out-neighbours of `v` (segments reachable as the next hop).
+  std::vector<int64_t> OutNeighbors(int64_t v) const;
+  /// In-neighbours of `v`.
+  std::vector<int64_t> InNeighbors(int64_t v) const;
+
+  int64_t OutDegree(int64_t v) const;
+  int64_t InDegree(int64_t v) const;
+
+  bool HasEdge(int64_t from, int64_t to) const;
+
+  /// Flat edge list (parallel arrays), fixed after Finalize(); this is the
+  /// edge enumeration the sparse TPE-GAT operates on.
+  const std::vector<int64_t>& edge_sources() const { return edge_src_; }
+  const std::vector<int64_t>& edge_targets() const { return edge_dst_; }
+
+  /// Free-flow travel time of a segment in seconds.
+  double FreeFlowTravelTime(int64_t v) const;
+
+  /// \brief Builds the normalised per-road feature matrix F_V (row-major
+  /// [num_segments, FeatureDim()]).
+  ///
+  /// Features follow Sec. III-A / IV-A: one-hot road type, length, number of
+  /// lanes, maximum speed, in-degree and out-degree, plus the segment's
+  /// geometry (midpoint coordinates and heading). The geometric columns make
+  /// road representations discriminative on synthetic networks whose
+  /// attribute features are near-symmetric (real OSM extracts get this
+  /// uniqueness for free); they are intrinsic map data, so TPE-GAT parameters
+  /// stay independent of |V| (the Table III transfer property). All numeric
+  /// columns are z-scored over the network.
+  std::vector<float> BuildFeatureMatrix() const;
+  static int64_t FeatureDim() { return kNumRoadTypes + 9; }
+
+ private:
+  void CheckId(int64_t id) const;
+
+  std::vector<RoadSegment> segments_;
+  std::vector<std::pair<int64_t, int64_t>> pending_edges_;
+  bool finalized_ = false;
+  // CSR (built by Finalize).
+  std::vector<int64_t> out_offsets_, out_targets_;
+  std::vector<int64_t> in_offsets_, in_sources_;
+  std::vector<int64_t> edge_src_, edge_dst_;
+};
+
+/// \brief Per-edge transfer probabilities computed from historical
+/// trajectories (Eq. 2): p_ij = count(v_i -> v_j) / count(v_i).
+class TransferProbability {
+ public:
+  /// Counts transitions over road-id sequences. Sequences must reference
+  /// valid segments of `net`.
+  static TransferProbability FromTrajectories(
+      const RoadNetwork& net,
+      const std::vector<std::vector<int64_t>>& road_sequences);
+
+  /// p(from -> to); 0 when the pair or `from` was never observed.
+  double Prob(int64_t from, int64_t to) const;
+
+  /// Total number of times `road` appears in the corpus.
+  int64_t VisitCount(int64_t road) const;
+
+  int64_t num_segments() const {
+    return static_cast<int64_t>(visit_counts_.size());
+  }
+
+ private:
+  std::vector<int64_t> visit_counts_;
+  // Sorted flat (from, to) -> count map for cache-friendly lookup.
+  std::vector<std::pair<int64_t, int64_t>> pair_keys_;  // (from, to)
+  std::vector<int64_t> pair_counts_;
+};
+
+}  // namespace start::roadnet
+
+#endif  // START_ROADNET_ROAD_NETWORK_H_

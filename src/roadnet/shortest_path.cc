@@ -1,0 +1,147 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace start::roadnet {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dijkstra with optional banned vertices/edges (needed by Yen's spur search).
+std::optional<PathResult> DijkstraImpl(
+    const RoadNetwork& net, int64_t src, int64_t dst,
+    const SegmentWeightFn& weight,
+    const std::unordered_set<int64_t>* banned_vertices,
+    const std::set<std::pair<int64_t, int64_t>>* banned_edges) {
+  const int64_t v = net.num_segments();
+  START_CHECK(src >= 0 && src < v);
+  START_CHECK(dst >= 0 && dst < v);
+  if (banned_vertices != nullptr &&
+      (banned_vertices->count(src) || banned_vertices->count(dst))) {
+    return std::nullopt;
+  }
+  std::vector<double> dist(static_cast<size_t>(v), kInf);
+  std::vector<int64_t> prev(static_cast<size_t>(v), -1);
+  using Item = std::pair<double, int64_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  const double w0 = weight(src);
+  START_CHECK_GT(w0, 0.0);
+  dist[static_cast<size_t>(src)] = w0;
+  pq.emplace(w0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    if (u == dst) break;
+    for (const int64_t nb : net.OutNeighbors(u)) {
+      if (banned_vertices != nullptr && banned_vertices->count(nb)) continue;
+      if (banned_edges != nullptr && banned_edges->count({u, nb})) continue;
+      const double wnb = weight(nb);
+      START_CHECK_GT(wnb, 0.0);
+      const double nd = d + wnb;
+      if (nd < dist[static_cast<size_t>(nb)]) {
+        dist[static_cast<size_t>(nb)] = nd;
+        prev[static_cast<size_t>(nb)] = u;
+        pq.emplace(nd, nb);
+      }
+    }
+  }
+  if (dist[static_cast<size_t>(dst)] == kInf) return std::nullopt;
+  PathResult result;
+  result.cost = dist[static_cast<size_t>(dst)];
+  for (int64_t cur = dst; cur != -1; cur = prev[static_cast<size_t>(cur)]) {
+    result.path.push_back(cur);
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+double PathCost(const std::vector<int64_t>& path,
+                const SegmentWeightFn& weight) {
+  double c = 0.0;
+  for (const int64_t s : path) c += weight(s);
+  return c;
+}
+
+}  // namespace
+
+std::optional<PathResult> ShortestPath(const RoadNetwork& net, int64_t src,
+                                       int64_t dst,
+                                       const SegmentWeightFn& weight) {
+  if (src == dst) {
+    return PathResult{{src}, weight(src)};
+  }
+  return DijkstraImpl(net, src, dst, weight, nullptr, nullptr);
+}
+
+std::vector<PathResult> KShortestPaths(const RoadNetwork& net, int64_t src,
+                                       int64_t dst, int64_t k,
+                                       const SegmentWeightFn& weight) {
+  START_CHECK_GT(k, 0);
+  std::vector<PathResult> found;
+  auto first = ShortestPath(net, src, dst, weight);
+  if (!first.has_value()) return found;
+  found.push_back(std::move(*first));
+
+  // Candidate paths ordered by cost; keys ensure deterministic dedup.
+  auto cmp = [](const PathResult& a, const PathResult& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.path < b.path;
+  };
+  std::set<PathResult, decltype(cmp)> candidates(cmp);
+
+  while (static_cast<int64_t>(found.size()) < k) {
+    const std::vector<int64_t>& last = found.back().path;
+    // Spur from every prefix of the previous k-shortest path.
+    for (size_t i = 0; i + 1 < last.size(); ++i) {
+      const int64_t spur_node = last[i];
+      const std::vector<int64_t> root(last.begin(), last.begin() + i + 1);
+      std::set<std::pair<int64_t, int64_t>> banned_edges;
+      for (const auto& p : found) {
+        if (p.path.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), p.path.begin())) {
+          banned_edges.insert({p.path[i], p.path[i + 1]});
+        }
+      }
+      std::unordered_set<int64_t> banned_vertices(root.begin(),
+                                                  root.end() - 1);
+      auto spur = DijkstraImpl(net, spur_node, dst, weight, &banned_vertices,
+                               &banned_edges);
+      if (!spur.has_value()) continue;
+      PathResult total;
+      total.path = root;
+      total.path.pop_back();  // spur path re-includes spur_node
+      total.path.insert(total.path.end(), spur->path.begin(),
+                        spur->path.end());
+      total.cost = PathCost(total.path, weight);
+      candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    // Pop the cheapest unseen candidate.
+    bool appended = false;
+    while (!candidates.empty()) {
+      PathResult best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      const bool duplicate =
+          std::any_of(found.begin(), found.end(), [&](const PathResult& p) {
+            return p.path == best.path;
+          });
+      if (!duplicate) {
+        found.push_back(std::move(best));
+        appended = true;
+        break;
+      }
+    }
+    if (!appended) break;
+  }
+  return found;
+}
+
+}  // namespace start::roadnet

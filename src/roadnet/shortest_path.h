@@ -1,0 +1,39 @@
+#ifndef START_ROADNET_SHORTEST_PATH_H_
+#define START_ROADNET_SHORTEST_PATH_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace start::roadnet {
+
+/// \brief A path through the segment graph plus its accumulated cost.
+struct PathResult {
+  std::vector<int64_t> path;  ///< Segment ids, src first, dst last.
+  double cost = 0.0;          ///< Sum of per-segment weights along the path.
+};
+
+/// Per-segment traversal cost (seconds, typically). Must be positive.
+using SegmentWeightFn = std::function<double(int64_t segment)>;
+
+/// \brief Dijkstra shortest path from `src` to `dst` over the segment graph.
+///
+/// The cost of a path [v0..vk] is sum_i weight(v_i) — each segment is paid
+/// once, including src and dst. Returns nullopt when unreachable.
+std::optional<PathResult> ShortestPath(const RoadNetwork& net, int64_t src,
+                                       int64_t dst,
+                                       const SegmentWeightFn& weight);
+
+/// \brief Yen's algorithm for the k shortest loopless paths [30], used by the
+/// detour ground-truth generator of Sec. IV-D4.
+///
+/// Returns up to k paths sorted by cost (the first is the shortest path).
+std::vector<PathResult> KShortestPaths(const RoadNetwork& net, int64_t src,
+                                       int64_t dst, int64_t k,
+                                       const SegmentWeightFn& weight);
+
+}  // namespace start::roadnet
+
+#endif  // START_ROADNET_SHORTEST_PATH_H_

@@ -1,0 +1,160 @@
+#include "roadnet/synthetic_city.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace start::roadnet {
+
+namespace {
+
+struct SegmentDraft {
+  int64_t id;
+  int32_t from_node;  // intersection index
+  int32_t to_node;
+};
+
+double SpeedFor(RoadType type, common::Rng* rng) {
+  double base = 8.3;
+  switch (type) {
+    case RoadType::kMotorway:
+      base = 25.0;
+      break;
+    case RoadType::kPrimary:
+      base = 16.7;
+      break;
+    case RoadType::kSecondary:
+      base = 13.9;
+      break;
+    case RoadType::kTertiary:
+      base = 11.1;
+      break;
+    case RoadType::kResidential:
+      base = 8.3;
+      break;
+  }
+  return base * rng->Uniform(0.9, 1.1);
+}
+
+int32_t LanesFor(RoadType type) {
+  switch (type) {
+    case RoadType::kMotorway:
+      return 4;
+    case RoadType::kPrimary:
+      return 3;
+    case RoadType::kSecondary:
+    case RoadType::kTertiary:
+      return 2;
+    case RoadType::kResidential:
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace
+
+RoadNetwork BuildSyntheticCity(const SyntheticCityConfig& config) {
+  START_CHECK_GE(config.grid_width, 3);
+  START_CHECK_GE(config.grid_height, 3);
+  START_CHECK_GE(config.arterial_every, 2);
+  common::Rng rng(config.seed);
+  const int32_t gw = config.grid_width;
+  const int32_t gh = config.grid_height;
+
+  // Intersection coordinates (jittered grid).
+  std::vector<double> nx(static_cast<size_t>(gw * gh));
+  std::vector<double> ny(static_cast<size_t>(gw * gh));
+  for (int32_t i = 0; i < gh; ++i) {
+    for (int32_t j = 0; j < gw; ++j) {
+      const size_t n = static_cast<size_t>(i * gw + j);
+      nx[n] = (j + rng.Uniform(-config.coord_jitter, config.coord_jitter)) *
+              config.block_length_m;
+      ny[n] = (i + rng.Uniform(-config.coord_jitter, config.coord_jitter)) *
+              config.block_length_m;
+    }
+  }
+
+  RoadNetwork net;
+  std::vector<SegmentDraft> drafts;
+  // reverse_of[id] = id of the opposite-direction twin.
+  std::vector<int64_t> reverse_of;
+
+  auto add_directed_pair = [&](int32_t a, int32_t b, RoadType type) {
+    const double dx = nx[static_cast<size_t>(b)] - nx[static_cast<size_t>(a)];
+    const double dy = ny[static_cast<size_t>(b)] - ny[static_cast<size_t>(a)];
+    const double length = std::max(30.0, std::hypot(dx, dy));
+    RoadSegment fwd;
+    fwd.type = type;
+    fwd.length_m = length;
+    fwd.lanes = LanesFor(type);
+    fwd.maxspeed_mps = SpeedFor(type, &rng);
+    fwd.x0 = nx[static_cast<size_t>(a)];
+    fwd.y0 = ny[static_cast<size_t>(a)];
+    fwd.x1 = nx[static_cast<size_t>(b)];
+    fwd.y1 = ny[static_cast<size_t>(b)];
+    RoadSegment bwd = fwd;
+    std::swap(bwd.x0, bwd.x1);
+    std::swap(bwd.y0, bwd.y1);
+    bwd.maxspeed_mps = SpeedFor(type, &rng);
+    const int64_t fid = net.AddSegment(fwd);
+    const int64_t bid = net.AddSegment(bwd);
+    drafts.push_back({fid, a, b});
+    drafts.push_back({bid, b, a});
+    reverse_of.push_back(bid);
+    reverse_of.push_back(fid);
+  };
+
+  auto row_type = [&](int32_t i) {
+    if (i % config.arterial_every == 0) return RoadType::kPrimary;
+    if (i % 2 == 0) return RoadType::kTertiary;
+    return RoadType::kResidential;
+  };
+
+  for (int32_t i = 0; i < gh; ++i) {
+    for (int32_t j = 0; j < gw; ++j) {
+      const int32_t n = i * gw + j;
+      if (j + 1 < gw) add_directed_pair(n, n + 1, row_type(i));
+      if (i + 1 < gh) add_directed_pair(n, n + gw, row_type(j));
+    }
+  }
+  // A few diagonal shortcuts (heterogeneous topology; classed secondary).
+  const int32_t num_diagonals = static_cast<int32_t>(
+      config.diagonal_fraction * static_cast<double>(gw * gh));
+  for (int32_t k = 0; k < num_diagonals; ++k) {
+    const int32_t i = static_cast<int32_t>(rng.UniformInt(gh - 1));
+    const int32_t j = static_cast<int32_t>(rng.UniformInt(gw - 1));
+    add_directed_pair(i * gw + j, (i + 1) * gw + (j + 1),
+                      RoadType::kSecondary);
+  }
+
+  // Connectivity: incoming segment -> outgoing segment at the shared
+  // intersection, excluding immediate U-turns.
+  std::map<int32_t, std::vector<int64_t>> arriving;   // node -> segment ids
+  std::map<int32_t, std::vector<int64_t>> departing;  // node -> segment ids
+  for (const auto& d : drafts) {
+    arriving[d.to_node].push_back(d.id);
+    departing[d.from_node].push_back(d.id);
+  }
+  for (const auto& [node, in_ids] : arriving) {
+    const auto it = departing.find(node);
+    if (it == departing.end()) continue;
+    for (const int64_t in_id : in_ids) {
+      bool added = false;
+      for (const int64_t out_id : it->second) {
+        if (out_id == reverse_of[static_cast<size_t>(in_id)]) continue;
+        net.AddEdge(in_id, out_id);
+        added = true;
+      }
+      // Dead end: permit the U-turn so the graph stays strongly connected.
+      if (!added && !it->second.empty()) {
+        net.AddEdge(in_id, reverse_of[static_cast<size_t>(in_id)]);
+      }
+    }
+  }
+  net.Finalize();
+  return net;
+}
+
+}  // namespace start::roadnet

@@ -1,0 +1,35 @@
+#ifndef START_ROADNET_SYNTHETIC_CITY_H_
+#define START_ROADNET_SYNTHETIC_CITY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+
+namespace start::roadnet {
+
+/// \brief Parameters of the synthetic-city generator.
+///
+/// The generator substitutes for the OpenStreetMap extracts of Beijing and
+/// Porto (Sec. IV-A): a jittered grid of intersections with an arterial
+/// hierarchy, converted to the segment-level directed graph of Definition 1.
+/// See DESIGN.md ("Substitutions") for why this preserves the evaluation's
+/// relevant structure.
+struct SyntheticCityConfig {
+  int32_t grid_width = 12;      ///< Intersections per row.
+  int32_t grid_height = 12;     ///< Intersections per column.
+  double block_length_m = 220.0;
+  double coord_jitter = 0.12;   ///< Relative positional jitter of intersections.
+  int32_t arterial_every = 4;   ///< Every k-th row/col is a primary arterial.
+  double diagonal_fraction = 0.06;  ///< Fraction of extra diagonal shortcuts.
+  uint64_t seed = 17;
+};
+
+/// Builds a finalized road network. Segments come in directed pairs (one per
+/// travel direction); connectivity edges link a segment to every segment
+/// leaving its head intersection except its own reverse (no U-turns).
+RoadNetwork BuildSyntheticCity(const SyntheticCityConfig& config);
+
+}  // namespace start::roadnet
+
+#endif  // START_ROADNET_SYNTHETIC_CITY_H_

@@ -1,0 +1,136 @@
+#include "sim/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+#include "sim/similarity.h"
+
+namespace start::sim {
+
+KMeansResult KMeans(const std::vector<float>& data, int64_t n, int64_t dim,
+                    int64_t k, common::Rng* rng, int64_t max_iterations) {
+  START_CHECK(rng != nullptr);
+  START_CHECK_EQ(static_cast<int64_t>(data.size()), n * dim);
+  START_CHECK_GT(k, 0);
+  START_CHECK_LE(k, n);
+  KMeansResult result;
+  result.centroids.resize(static_cast<size_t>(k * dim));
+
+  // k-means++ seeding: first centre uniform, then proportional to squared
+  // distance to the nearest chosen centre.
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::max());
+  int64_t first = rng->UniformInt(n);
+  std::copy(data.begin() + first * dim, data.begin() + (first + 1) * dim,
+            result.centroids.begin());
+  for (int64_t c = 1; c < k; ++c) {
+    for (int64_t i = 0; i < n; ++i) {
+      const double d = EmbeddingDistance(
+          data.data() + i * dim,
+          result.centroids.data() + (c - 1) * dim, dim);
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)], d);
+    }
+    const int64_t chosen = rng->Categorical(
+        std::vector<double>(min_dist.begin(), min_dist.end()));
+    std::copy(data.begin() + chosen * dim, data.begin() + (chosen + 1) * dim,
+              result.centroids.begin() + c * dim);
+  }
+
+  result.assignments.assign(static_cast<size_t>(n), -1);
+  std::vector<double> sums(static_cast<size_t>(k * dim));
+  std::vector<int64_t> counts(static_cast<size_t>(k));
+  for (int64_t iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    result.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int64_t c = 0; c < k; ++c) {
+        const double d = EmbeddingDistance(
+            data.data() + i * dim, result.centroids.data() + c * dim, dim);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      result.inertia += best_d;
+      if (result.assignments[static_cast<size_t>(i)] != best) {
+        result.assignments[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    // Recompute centroids; empty clusters keep their previous centre.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      for (int64_t j = 0; j < dim; ++j) {
+        sums[static_cast<size_t>(c * dim + j)] +=
+            data[static_cast<size_t>(i * dim + j)];
+      }
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      for (int64_t j = 0; j < dim; ++j) {
+        result.centroids[static_cast<size_t>(c * dim + j)] =
+            static_cast<float>(sums[static_cast<size_t>(c * dim + j)] /
+                               static_cast<double>(
+                                   counts[static_cast<size_t>(c)]));
+      }
+    }
+  }
+  return result;
+}
+
+ClusterQuality EvaluateClusters(const std::vector<int64_t>& assignments,
+                                const std::vector<int64_t>& labels) {
+  START_CHECK_EQ(assignments.size(), labels.size());
+  START_CHECK(!assignments.empty());
+  const double n = static_cast<double>(assignments.size());
+  // Joint counts.
+  std::map<std::pair<int64_t, int64_t>, int64_t> joint;
+  std::map<int64_t, int64_t> by_cluster, by_label;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    ++joint[{assignments[i], labels[i]}];
+    ++by_cluster[assignments[i]];
+    ++by_label[labels[i]];
+  }
+  ClusterQuality q;
+  // Purity: majority label share per cluster, weighted by cluster size.
+  for (const auto& [cluster, size] : by_cluster) {
+    int64_t best = 0;
+    for (const auto& [key, count] : joint) {
+      if (key.first == cluster) best = std::max(best, count);
+    }
+    q.purity += static_cast<double>(best);
+  }
+  q.purity /= n;
+  // NMI with natural logs.
+  double mi = 0.0, h_c = 0.0, h_l = 0.0;
+  for (const auto& [key, count] : joint) {
+    const double p = count / n;
+    const double pc = by_cluster[key.first] / n;
+    const double pl = by_label[key.second] / n;
+    mi += p * std::log(p / (pc * pl));
+  }
+  for (const auto& [cluster, count] : by_cluster) {
+    const double p = count / n;
+    h_c -= p * std::log(p);
+  }
+  for (const auto& [label, count] : by_label) {
+    const double p = count / n;
+    h_l -= p * std::log(p);
+  }
+  const double denom = std::sqrt(h_c * h_l);
+  q.nmi = denom > 1e-12 ? mi / denom : 0.0;
+  return q;
+}
+
+}  // namespace start::sim

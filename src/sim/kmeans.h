@@ -1,0 +1,39 @@
+#ifndef START_SIM_KMEANS_H_
+#define START_SIM_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace start::sim {
+
+/// \brief k-means clustering over trajectory embeddings.
+///
+/// Trajectory clustering is one of the downstream applications motivating
+/// TRL (Sec. I / V-A: DETECT, E2DTC build special-purpose models for it);
+/// with generic representations it reduces to k-means in embedding space.
+struct KMeansResult {
+  std::vector<int64_t> assignments;  ///< Cluster id per row.
+  std::vector<float> centroids;      ///< Row-major [k, dim].
+  double inertia = 0.0;              ///< Sum of squared distances to centroids.
+  int64_t iterations = 0;            ///< Iterations until convergence.
+};
+
+/// Lloyd's algorithm with k-means++ seeding. `data` is row-major [n, dim].
+KMeansResult KMeans(const std::vector<float>& data, int64_t n, int64_t dim,
+                    int64_t k, common::Rng* rng, int64_t max_iterations = 50);
+
+/// \brief Clustering-quality diagnostics against reference labels.
+struct ClusterQuality {
+  double purity = 0.0;  ///< Weighted majority-label share per cluster.
+  double nmi = 0.0;     ///< Normalised mutual information.
+};
+
+/// Evaluates cluster assignments against ground-truth labels.
+ClusterQuality EvaluateClusters(const std::vector<int64_t>& assignments,
+                                const std::vector<int64_t>& labels);
+
+}  // namespace start::sim
+
+#endif  // START_SIM_KMEANS_H_

@@ -1,0 +1,98 @@
+#include "sim/search.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/similarity.h"
+
+namespace start::sim {
+
+RankMetrics MostSimilarSearch(int64_t num_queries, int64_t database_size,
+                              const QueryDistanceFn& distance,
+                              const std::vector<int64_t>& gt_index) {
+  START_CHECK_EQ(static_cast<int64_t>(gt_index.size()), num_queries);
+  START_CHECK_GT(num_queries, 0);
+  RankMetrics m;
+  for (int64_t q = 0; q < num_queries; ++q) {
+    const int64_t gt = gt_index[static_cast<size_t>(q)];
+    START_CHECK(gt >= 0 && gt < database_size);
+    const double gt_dist = distance(q, gt);
+    // Rank = 1 + number of database items strictly closer than the truth
+    // (ties resolved in the truth's favour only for larger indices).
+    int64_t rank = 1;
+    for (int64_t i = 0; i < database_size; ++i) {
+      if (i == gt) continue;
+      const double d = distance(q, i);
+      if (d < gt_dist || (d == gt_dist && i < gt)) ++rank;
+    }
+    m.mean_rank += static_cast<double>(rank);
+    if (rank <= 1) m.hr_at_1 += 1.0;
+    if (rank <= 5) m.hr_at_5 += 1.0;
+  }
+  const double n = static_cast<double>(num_queries);
+  m.mean_rank /= n;
+  m.hr_at_1 /= n;
+  m.hr_at_5 /= n;
+  return m;
+}
+
+RankMetrics MostSimilarSearchEmbeddings(const std::vector<float>& queries,
+                                        int64_t num_queries,
+                                        const std::vector<float>& database,
+                                        int64_t database_size, int64_t dim,
+                                        const std::vector<int64_t>& gt_index) {
+  START_CHECK_EQ(static_cast<int64_t>(queries.size()), num_queries * dim);
+  START_CHECK_EQ(static_cast<int64_t>(database.size()), database_size * dim);
+  return MostSimilarSearch(
+      num_queries, database_size,
+      [&](int64_t q, int64_t i) {
+        return EmbeddingDistance(queries.data() + q * dim,
+                                 database.data() + i * dim, dim);
+      },
+      gt_index);
+}
+
+std::vector<int64_t> TopK(int64_t database_size, int64_t k,
+                          const std::function<double(int64_t)>& distance) {
+  START_CHECK_GT(k, 0);
+  std::vector<std::pair<double, int64_t>> scored;
+  scored.reserve(static_cast<size_t>(database_size));
+  for (int64_t i = 0; i < database_size; ++i) {
+    scored.emplace_back(distance(i), i);
+  }
+  const size_t kk = static_cast<size_t>(std::min(k, database_size));
+  std::partial_sort(scored.begin(), scored.begin() + kk, scored.end());
+  std::vector<int64_t> out;
+  out.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+double KnnPrecision(const std::vector<float>& original_queries,
+                    const std::vector<float>& transformed_queries,
+                    int64_t num_queries, const std::vector<float>& database,
+                    int64_t database_size, int64_t dim, int64_t k) {
+  START_CHECK_EQ(static_cast<int64_t>(original_queries.size()),
+                 num_queries * dim);
+  START_CHECK_EQ(static_cast<int64_t>(transformed_queries.size()),
+                 num_queries * dim);
+  double total = 0.0;
+  for (int64_t q = 0; q < num_queries; ++q) {
+    const auto truth = TopK(database_size, k, [&](int64_t i) {
+      return EmbeddingDistance(original_queries.data() + q * dim,
+                               database.data() + i * dim, dim);
+    });
+    const auto got = TopK(database_size, k, [&](int64_t i) {
+      return EmbeddingDistance(transformed_queries.data() + q * dim,
+                               database.data() + i * dim, dim);
+    });
+    int64_t overlap = 0;
+    for (const int64_t g : got) {
+      if (std::find(truth.begin(), truth.end(), g) != truth.end()) ++overlap;
+    }
+    total += static_cast<double>(overlap) / static_cast<double>(k);
+  }
+  return total / static_cast<double>(num_queries);
+}
+
+}  // namespace start::sim

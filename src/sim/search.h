@@ -1,0 +1,49 @@
+#ifndef START_SIM_SEARCH_H_
+#define START_SIM_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace start::sim {
+
+/// \brief Result of the most-similar-trajectory protocol (Sec. IV-D4a).
+struct RankMetrics {
+  double mean_rank = 0.0;  ///< 1-based rank of the ground truth, averaged.
+  double hr_at_1 = 0.0;
+  double hr_at_5 = 0.0;
+};
+
+/// Distance between query q and database item i.
+using QueryDistanceFn = std::function<double(int64_t q, int64_t i)>;
+
+/// \brief Generic most-similar search: for each of `num_queries`, the ground
+/// truth is database item `gt_index[q]`; items are ranked by distance
+/// (ascending, ties broken by index).
+RankMetrics MostSimilarSearch(int64_t num_queries, int64_t database_size,
+                              const QueryDistanceFn& distance,
+                              const std::vector<int64_t>& gt_index);
+
+/// Euclidean-embedding specialisation: `queries` is [nq, d] row-major,
+/// `database` [ndb, d].
+RankMetrics MostSimilarSearchEmbeddings(const std::vector<float>& queries,
+                                        int64_t num_queries,
+                                        const std::vector<float>& database,
+                                        int64_t database_size, int64_t dim,
+                                        const std::vector<int64_t>& gt_index);
+
+/// Indices of the k nearest database items for query q (ascending distance).
+std::vector<int64_t> TopK(int64_t database_size, int64_t k,
+                          const std::function<double(int64_t)>& distance);
+
+/// \brief k-nearest precision protocol (Sec. IV-D4b): ground truth is the
+/// k-NN set of the original query; retrieval uses the transformed (detoured)
+/// query; precision is the overlap fraction, averaged over queries.
+double KnnPrecision(const std::vector<float>& original_queries,
+                    const std::vector<float>& transformed_queries,
+                    int64_t num_queries, const std::vector<float>& database,
+                    int64_t database_size, int64_t dim, int64_t k);
+
+}  // namespace start::sim
+
+#endif  // START_SIM_SEARCH_H_

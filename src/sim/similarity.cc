@@ -1,0 +1,121 @@
+#include "sim/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace start::sim {
+
+namespace {
+
+double PointDist(const std::pair<double, double>& p,
+                 const std::pair<double, double>& q) {
+  return std::hypot(p.first - q.first, p.second - q.second);
+}
+
+}  // namespace
+
+PointSeq ToPointSequence(const roadnet::RoadNetwork& net,
+                         const traj::Trajectory& t) {
+  PointSeq seq;
+  seq.reserve(t.roads.size());
+  for (const int64_t r : t.roads) {
+    const auto& seg = net.segment(r);
+    seq.emplace_back(seg.MidX(), seg.MidY());
+  }
+  return seq;
+}
+
+double DtwDistance(const PointSeq& a, const PointSeq& b) {
+  START_CHECK(!a.empty() && !b.empty());
+  const size_t n = a.size(), m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Rolling 2-row DP.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      const double cost = PointDist(a[i - 1], b[j - 1]);
+      cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LcssDistance(const PointSeq& a, const PointSeq& b, double eps) {
+  START_CHECK(!a.empty() && !b.empty());
+  const size_t n = a.size(), m = b.size();
+  std::vector<int32_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (PointDist(a[i - 1], b[j - 1]) <= eps) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  const double lcss = static_cast<double>(prev[m]);
+  return 1.0 - lcss / static_cast<double>(std::min(n, m));
+}
+
+double FrechetDistance(const PointSeq& a, const PointSeq& b) {
+  START_CHECK(!a.empty() && !b.empty());
+  const size_t n = a.size(), m = b.size();
+  std::vector<double> dp(n * m, -1.0);
+  // Iterative DP over the coupled free-space (row-major, dependencies are
+  // (i-1,j), (i,j-1), (i-1,j-1) so a forward sweep is valid).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = PointDist(a[i], b[j]);
+      double reach;
+      if (i == 0 && j == 0) {
+        reach = d;
+      } else if (i == 0) {
+        reach = std::max(dp[j - 1], d);
+      } else if (j == 0) {
+        reach = std::max(dp[(i - 1) * m], d);
+      } else {
+        reach = std::max(
+            std::min({dp[(i - 1) * m + j], dp[i * m + j - 1],
+                      dp[(i - 1) * m + j - 1]}),
+            d);
+      }
+      dp[i * m + j] = reach;
+    }
+  }
+  return dp[n * m - 1];
+}
+
+double EdrDistance(const PointSeq& a, const PointSeq& b, double eps) {
+  START_CHECK(!a.empty() && !b.empty());
+  const size_t n = a.size(), m = b.size();
+  std::vector<int32_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int32_t>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int32_t>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int32_t sub =
+          PointDist(a[i - 1], b[j - 1]) <= eps ? 0 : 1;
+      cur[j] = std::min({prev[j - 1] + sub, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]) / static_cast<double>(std::max(n, m));
+}
+
+double EmbeddingDistance(const float* a, const float* b, int64_t d) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace start::sim

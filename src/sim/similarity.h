@@ -1,0 +1,39 @@
+#ifndef START_SIM_SIMILARITY_H_
+#define START_SIM_SIMILARITY_H_
+
+#include <utility>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace start::sim {
+
+/// 2-D point sequence (meters); trajectories are compared through their
+/// road-midpoint polylines, as is standard for road-constrained data.
+using PointSeq = std::vector<std::pair<double, double>>;
+
+/// Converts a trajectory to its midpoint polyline.
+PointSeq ToPointSequence(const roadnet::RoadNetwork& net,
+                         const traj::Trajectory& t);
+
+/// Dynamic Time Warping distance [32] (O(L^2), Euclidean ground distance).
+double DtwDistance(const PointSeq& a, const PointSeq& b);
+
+/// Longest Common SubSequence dissimilarity [33]:
+/// 1 - LCSS_eps(a, b) / min(|a|, |b|). Two points match when within `eps`
+/// meters.
+double LcssDistance(const PointSeq& a, const PointSeq& b, double eps);
+
+/// Discrete Fréchet distance [34].
+double FrechetDistance(const PointSeq& a, const PointSeq& b);
+
+/// Edit Distance on Real sequence [35], normalised by max(|a|, |b|).
+double EdrDistance(const PointSeq& a, const PointSeq& b, double eps);
+
+/// Squared Euclidean distance between two embedding vectors of length d.
+double EmbeddingDistance(const float* a, const float* b, int64_t d);
+
+}  // namespace start::sim
+
+#endif  // START_SIM_SIMILARITY_H_

@@ -1,0 +1,63 @@
+#include "tensor/grad_check.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace start::tensor {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps, double tol) {
+  GradCheckResult result;
+  result.passed = true;
+
+  for (auto& in : inputs) in.set_requires_grad(true);
+  for (auto& in : inputs) in.ZeroGrad();
+
+  Tensor out = fn(inputs);
+  START_CHECK_EQ(out.numel(), 1);
+  out.Backward();
+
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    Tensor& in = inputs[k];
+    const int64_t n = in.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float orig = in.data()[i];
+      in.data()[i] = orig + static_cast<float>(eps);
+      double f_plus;
+      {
+        NoGradGuard ng;
+        f_plus = fn(inputs).item();
+      }
+      in.data()[i] = orig - static_cast<float>(eps);
+      double f_minus;
+      {
+        NoGradGuard ng;
+        f_minus = fn(inputs).item();
+      }
+      in.data()[i] = orig;
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      const double analytic = in.grad()[i];
+      const double abs_err = std::fabs(numeric - analytic);
+      const double denom = std::max({std::fabs(numeric), std::fabs(analytic),
+                                     1.0});
+      const double rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tol && abs_err > 1e-3) {
+        result.passed = false;
+        if (result.detail.empty()) {
+          std::ostringstream os;
+          os << "input " << k << " element " << i << ": analytic=" << analytic
+             << " numeric=" << numeric;
+          result.detail = os.str();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace start::tensor

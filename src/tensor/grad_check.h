@@ -1,0 +1,32 @@
+#ifndef START_TENSOR_GRAD_CHECK_H_
+#define START_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace start::tensor {
+
+/// \brief Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool passed = false;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::string detail;  ///< Populated on failure (which input/element).
+};
+
+/// \brief Verifies analytic gradients against central finite differences.
+///
+/// `fn` maps the inputs to a scalar tensor. Each input is perturbed
+/// element-by-element with step `eps`; the analytic gradient from one
+/// Backward() call must match within `tol` (relative, with absolute floor).
+/// Used by the tensor-op property tests.
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps = 1e-3, double tol = 5e-2);
+
+}  // namespace start::tensor
+
+#endif  // START_TENSOR_GRAD_CHECK_H_

@@ -1,0 +1,45 @@
+#ifndef START_TENSOR_OP_UTILS_H_
+#define START_TENSOR_OP_UTILS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "tensor/shape.h"
+
+namespace start::tensor::internal {
+
+constexpr int kMaxDims = 4;
+
+/// Row-major strides of `shape`, left-padded with zeros to kMaxDims entries
+/// and with zero strides on broadcast (size-1) dimensions relative to `out`.
+struct BroadcastMap {
+  std::array<int64_t, kMaxDims> out_dims{};   // left-padded with 1s
+  std::array<int64_t, kMaxDims> a_strides{};  // 0 on broadcast dims
+  std::array<int64_t, kMaxDims> b_strides{};
+  int64_t numel = 0;
+  bool same_shape = false;
+
+  /// Maps a flat output index to flat indices into a and b.
+  inline void Map(int64_t flat, int64_t* ia, int64_t* ib) const {
+    int64_t a = 0;
+    int64_t b = 0;
+    for (int d = kMaxDims - 1; d >= 0; --d) {
+      const int64_t q = flat % out_dims[d];
+      flat /= out_dims[d];
+      a += q * a_strides[d];
+      b += q * b_strides[d];
+    }
+    *ia = a;
+    *ib = b;
+  }
+};
+
+/// Builds the index mapping for broadcasting `a` and `b` to their common
+/// shape. CHECK-fails when incompatible or when ndim exceeds kMaxDims.
+BroadcastMap MakeBroadcastMap(const Shape& a, const Shape& b);
+
+}  // namespace start::tensor::internal
+
+#endif  // START_TENSOR_OP_UTILS_H_

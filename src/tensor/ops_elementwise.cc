@@ -1,0 +1,270 @@
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "tensor/op_utils.h"
+#include "tensor/ops.h"
+
+namespace start::tensor {
+
+namespace internal {
+
+BroadcastMap MakeBroadcastMap(const Shape& a, const Shape& b) {
+  START_CHECK_LE(a.ndim(), kMaxDims);
+  START_CHECK_LE(b.ndim(), kMaxDims);
+  const Shape out = BroadcastShapes(a, b);
+  BroadcastMap map;
+  map.numel = out.numel();
+  map.same_shape = (a == b);
+  map.out_dims.fill(1);
+  map.a_strides.fill(0);
+  map.b_strides.fill(0);
+  // Fill right-aligned.
+  for (int64_t i = 0; i < out.ndim(); ++i) {
+    map.out_dims[static_cast<size_t>(kMaxDims - 1 - i)] =
+        out.dim(out.ndim() - 1 - i);
+  }
+  auto fill_strides = [&](const Shape& s, std::array<int64_t, kMaxDims>* st) {
+    int64_t stride = 1;
+    for (int64_t i = 0; i < s.ndim(); ++i) {
+      const int64_t d = s.dim(s.ndim() - 1 - i);
+      const size_t slot = static_cast<size_t>(kMaxDims - 1 - i);
+      (*st)[slot] = (d == 1 && map.out_dims[slot] != 1) ? 0 : stride;
+      stride *= d;
+    }
+  };
+  fill_strides(a, &map.a_strides);
+  fill_strides(b, &map.b_strides);
+  return map;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::BroadcastMap;
+using internal::MakeBroadcastMap;
+
+/// Shared scaffolding for broadcasting binary elementwise ops.
+/// fwd(av, bv) computes the output value; da(av, bv) / db(av, bv) compute the
+/// local partial derivatives d out / d a and d out / d b.
+template <typename Fwd, typename Da, typename Db>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Da da, Db db,
+                const char* name) {
+  START_CHECK(a.defined() && b.defined());
+  const BroadcastMap map = MakeBroadcastMap(a.shape(), b.shape());
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  std::vector<float> out(static_cast<size_t>(map.numel));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  if (map.same_shape) {
+    for (int64_t i = 0; i < map.numel; ++i) out[i] = fwd(pa[i], pb[i]);
+  } else {
+    for (int64_t i = 0; i < map.numel; ++i) {
+      int64_t ia, ib;
+      map.Map(i, &ia, &ib);
+      out[i] = fwd(pa[ia], pb[ib]);
+    }
+  }
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  auto backward = [map, a_impl, b_impl, da, db](TensorImpl& self) {
+    const float* pa = a_impl->data.data();
+    const float* pb = b_impl->data.data();
+    const float* g = self.grad.data();
+    float* ga = a_impl->grad.data();
+    float* gb = b_impl->grad.data();
+    const bool need_a = a_impl->requires_grad;
+    const bool need_b = b_impl->requires_grad;
+    if (map.same_shape) {
+      for (int64_t i = 0; i < map.numel; ++i) {
+        if (need_a) ga[i] += g[i] * da(pa[i], pb[i]);
+        if (need_b) gb[i] += g[i] * db(pa[i], pb[i]);
+      }
+    } else {
+      for (int64_t i = 0; i < map.numel; ++i) {
+        int64_t ia, ib;
+        map.Map(i, &ia, &ib);
+        if (need_a) ga[ia] += g[i] * da(pa[ia], pb[ib]);
+        if (need_b) gb[ib] += g[i] * db(pa[ia], pb[ib]);
+      }
+    }
+  };
+  return MakeOpResult(out_shape, std::move(out), {a.impl(), b.impl()},
+                      std::move(backward), name);
+}
+
+/// Shared scaffolding for unary elementwise ops. dfn(x, y) is the local
+/// derivative given input x and output y.
+template <typename Fwd, typename Dfn>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfn dfn, const char* name) {
+  START_CHECK(a.defined());
+  const int64_t n = a.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) out[i] = fwd(pa[i]);
+  auto a_impl = a.impl();
+  // Save outputs for derivative rules expressed through y (sigmoid, tanh, exp).
+  auto out_copy = std::make_shared<std::vector<float>>(out);
+  auto backward = [a_impl, out_copy, dfn, n](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    const float* g = self.grad.data();
+    const float* x = a_impl->data.data();
+    const float* y = out_copy->data();
+    float* ga = a_impl->grad.data();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * dfn(x[i], y[i]);
+  };
+  return MakeOpResult(a.shape(), std::move(out), {a.impl()},
+                      std::move(backward), name);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; },
+      "add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; },
+      "sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; },
+      "mul");
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); }, "div");
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return -x; }, [](float, float) { return -1.0f; },
+      "neg");
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return s * x; }, [s](float, float) { return s; },
+      "scale");
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; },
+      "add_scalar");
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "relu");
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryOp(
+      a,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) {
+        return x > 0.0f ? 1.0f : negative_slope;
+      },
+      "leaky_relu");
+}
+
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a,
+      [alpha](float x) { return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float y) { return x > 0.0f ? 1.0f : y + alpha; },
+      "elu");
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation of GELU (as used by BERT).
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return UnaryOp(
+      a,
+      [](float x) {
+        const float inner = kC * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        const float x3 = x * x * x;
+        const float inner = kC * (x + 0.044715f * x3);
+        const float t = std::tanh(inner);
+        const float sech2 = 1.0f - t * t;
+        return 0.5f * (1.0f + t) +
+               0.5f * x * sech2 * kC * (1.0f + 3.0f * 0.044715f * x * x);
+      },
+      "gelu");
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; }, "tanh");
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); }, "sigmoid");
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; }, "exp");
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; }, "log");
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; }, "sqrt");
+}
+
+Tensor Dropout(const Tensor& a, float p, bool training) {
+  START_CHECK(a.defined());
+  START_CHECK_GE(p, 0.0f);
+  START_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+  const int64_t n = a.numel();
+  const float keep_scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  auto& rng = common::GlobalRng();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float m = rng.Bernoulli(p) ? 0.0f : keep_scale;
+    (*mask)[i] = m;
+    out[i] = pa[i] * m;
+  }
+  auto a_impl = a.impl();
+  auto backward = [a_impl, mask, n](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    const float* g = self.grad.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * (*mask)[i];
+  };
+  return MakeOpResult(a.shape(), std::move(out), {a.impl()},
+                      std::move(backward), "dropout");
+}
+
+}  // namespace start::tensor

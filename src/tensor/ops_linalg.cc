@@ -1,0 +1,324 @@
+#include <cstring>
+
+#include "tensor/op_utils.h"
+#include "tensor/ops.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace start::tensor {
+
+namespace {
+
+/// C[M,N] += A[M,K] * B[K,N] (optionally with A or B transposed flags applied
+/// by the caller through strides). Plain ikj loop ordering: the innermost loop
+/// is contiguous over both B and C, which vectorises well.
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+#pragma omp parallel for if (m * n * k > (1 << 16))
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[M,N] += A[M,K] * B^T where B is [N,K].
+void GemmAccumulateBT(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n) {
+#pragma omp parallel for if (m * n * k > (1 << 16))
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+/// C[M,N] += A^T * B where A is [K,M], B is [K,N].
+void GemmAccumulateAT(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n) {
+  // Serial over k; row updates of C are parallelised by chunking rows of C.
+#pragma omp parallel for if (m * n * k > (1 << 16))
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  START_CHECK_EQ(a.ndim(), 2);
+  START_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  START_CHECK_MSG(b.dim(0) == k, "matmul inner dims: " << a.shape().ToString()
+                                                       << " x "
+                                                       << b.shape().ToString());
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  GemmAccumulate(a.data(), b.data(), out.data(), m, k, n);
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  auto backward = [a_impl, b_impl, m, k, n](TensorImpl& self) {
+    const float* g = self.grad.data();
+    // dA = dC * B^T ; dB = A^T * dC.
+    if (a_impl->requires_grad) {
+      GemmAccumulateBT(g, b_impl->data.data(), a_impl->grad.data(), m, n, k);
+    }
+    if (b_impl->requires_grad) {
+      GemmAccumulateAT(a_impl->data.data(), g, b_impl->grad.data(), k, m, n);
+    }
+  };
+  return MakeOpResult(Shape({m, n}), std::move(out), {a.impl(), b.impl()},
+                      std::move(backward), "matmul");
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool transpose_b) {
+  START_CHECK_EQ(a.ndim(), 3);
+  START_CHECK_EQ(b.ndim(), 3);
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2);
+  START_CHECK_EQ(b.dim(0), bs);
+  const int64_t n = transpose_b ? b.dim(1) : b.dim(2);
+  const int64_t bk = transpose_b ? b.dim(2) : b.dim(1);
+  START_CHECK_MSG(bk == k, "bmm inner dims: " << a.shape().ToString() << " x "
+                                              << b.shape().ToString());
+  std::vector<float> out(static_cast<size_t>(bs * m * n), 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < bs; ++i) {
+    const float* ai = pa + i * m * k;
+    const float* bi = pb + i * (transpose_b ? n * k : k * n);
+    float* ci = out.data() + i * m * n;
+    if (transpose_b) {
+      GemmAccumulateBT(ai, bi, ci, m, k, n);
+    } else {
+      GemmAccumulate(ai, bi, ci, m, k, n);
+    }
+  }
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  auto backward = [a_impl, b_impl, bs, m, k, n, transpose_b](TensorImpl& self) {
+    const float* g = self.grad.data();
+    for (int64_t i = 0; i < bs; ++i) {
+      const float* gi = g + i * m * n;
+      const float* ai = a_impl->data.data() + i * m * k;
+      float* gai = a_impl->requires_grad ? a_impl->grad.data() + i * m * k
+                                         : nullptr;
+      if (!transpose_b) {
+        const float* bi = b_impl->data.data() + i * k * n;
+        float* gbi = b_impl->requires_grad ? b_impl->grad.data() + i * k * n
+                                           : nullptr;
+        // dA = dC * B^T; dB = A^T * dC.
+        if (gai != nullptr) GemmAccumulateBT(gi, bi, gai, m, n, k);
+        if (gbi != nullptr) GemmAccumulateAT(ai, gi, gbi, k, m, n);
+      } else {
+        // C = A * B^T with B [n,k]: dA = dC * B; dB = dC^T * A.
+        const float* bi = b_impl->data.data() + i * n * k;
+        float* gbi = b_impl->requires_grad ? b_impl->grad.data() + i * n * k
+                                           : nullptr;
+        if (gai != nullptr) GemmAccumulate(gi, bi, gai, m, n, k);
+        if (gbi != nullptr) GemmAccumulateAT(gi, ai, gbi, n, m, k);
+      }
+    }
+  };
+  return MakeOpResult(Shape({bs, m, n}), std::move(out), {a.impl(), b.impl()},
+                      std::move(backward), "bmm");
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  START_CHECK(a.defined());
+  START_CHECK_MSG(shape.numel() == a.numel(),
+                  "reshape " << a.shape().ToString() << " -> "
+                             << shape.ToString());
+  std::vector<float> out(a.data(), a.data() + a.numel());
+  auto a_impl = a.impl();
+  const int64_t n = a.numel();
+  auto backward = [a_impl, n](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    const float* g = self.grad.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g[i];
+  };
+  return MakeOpResult(shape, std::move(out), {a.impl()}, std::move(backward),
+                      "reshape");
+}
+
+Tensor Transpose(const Tensor& a) {
+  START_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(static_cast<size_t>(m * n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = pa[i * n + j];
+  }
+  auto a_impl = a.impl();
+  auto backward = [a_impl, m, n](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    const float* g = self.grad.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) ga[i * n + j] += g[j * m + i];
+    }
+  };
+  return MakeOpResult(Shape({n, m}), std::move(out), {a.impl()},
+                      std::move(backward), "transpose");
+}
+
+namespace {
+
+/// Computes (outer, dim_size, inner) decomposition of `shape` around `dim`:
+/// the tensor is viewed as [outer, dim_size, inner] row-major.
+void SplitAroundDim(const Shape& shape, int64_t dim, int64_t* outer,
+                    int64_t* dim_size, int64_t* inner) {
+  const int64_t nd = shape.ndim();
+  if (dim < 0) dim += nd;
+  START_CHECK(dim >= 0 && dim < nd);
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < dim; ++i) *outer *= shape.dim(i);
+  *dim_size = shape.dim(dim);
+  for (int64_t i = dim + 1; i < nd; ++i) *inner *= shape.dim(i);
+}
+
+}  // namespace
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
+  START_CHECK(!parts.empty());
+  const int64_t nd = parts[0].ndim();
+  if (dim < 0) dim += nd;
+  int64_t total_dim = 0;
+  for (const auto& p : parts) {
+    START_CHECK_EQ(p.ndim(), nd);
+    for (int64_t i = 0; i < nd; ++i) {
+      if (i != dim) START_CHECK_EQ(p.dim(i), parts[0].dim(i));
+    }
+    total_dim += p.dim(dim);
+  }
+  std::vector<int64_t> out_dims = parts[0].shape().dims();
+  out_dims[static_cast<size_t>(dim)] = total_dim;
+  const Shape out_shape{std::vector<int64_t>(out_dims)};
+
+  int64_t outer, unused, inner;
+  SplitAroundDim(out_shape, dim, &outer, &unused, &inner);
+  std::vector<float> out(static_cast<size_t>(out_shape.numel()));
+  std::vector<int64_t> offsets(parts.size());
+  {
+    int64_t off = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      offsets[p] = off;
+      off += parts[p].dim(dim);
+    }
+  }
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const int64_t dp = parts[p].dim(dim);
+    const float* src = parts[p].data();
+    for (int64_t o = 0; o < outer; ++o) {
+      float* dst = out.data() + (o * total_dim + offsets[p]) * inner;
+      std::memcpy(dst, src + o * dp * inner,
+                  static_cast<size_t>(dp * inner) * sizeof(float));
+    }
+  }
+  std::vector<std::shared_ptr<TensorImpl>> parent_impls;
+  parent_impls.reserve(parts.size());
+  for (const auto& p : parts) parent_impls.push_back(p.impl());
+  std::vector<int64_t> part_dims(parts.size());
+  for (size_t p = 0; p < parts.size(); ++p) part_dims[p] = parts[p].dim(dim);
+  auto backward = [parent_impls, part_dims, offsets, outer, inner,
+                   total_dim](TensorImpl& self) {
+    const float* g = self.grad.data();
+    for (size_t p = 0; p < parent_impls.size(); ++p) {
+      auto& parent = parent_impls[p];
+      if (!parent->requires_grad) continue;
+      const int64_t dp = part_dims[p];
+      float* gp = parent->grad.data();
+      for (int64_t o = 0; o < outer; ++o) {
+        const float* gsrc = g + (o * total_dim + offsets[p]) * inner;
+        float* gdst = gp + o * dp * inner;
+        for (int64_t i = 0; i < dp * inner; ++i) gdst[i] += gsrc[i];
+      }
+    }
+  };
+  return MakeOpResult(out_shape, std::move(out), std::move(parent_impls),
+                      std::move(backward), "concat");
+}
+
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len) {
+  START_CHECK(a.defined());
+  const int64_t nd = a.ndim();
+  if (dim < 0) dim += nd;
+  int64_t outer, dim_size, inner;
+  SplitAroundDim(a.shape(), dim, &outer, &dim_size, &inner);
+  START_CHECK_GE(start, 0);
+  START_CHECK_LE(start + len, dim_size);
+  START_CHECK_GT(len, 0);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims[static_cast<size_t>(dim)] = len;
+  const Shape out_shape{std::vector<int64_t>(out_dims)};
+  std::vector<float> out(static_cast<size_t>(out_shape.numel()));
+  const float* pa = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(out.data() + o * len * inner,
+                pa + (o * dim_size + start) * inner,
+                static_cast<size_t>(len * inner) * sizeof(float));
+  }
+  auto a_impl = a.impl();
+  auto backward = [a_impl, outer, dim_size, inner, start, len](
+                      TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    const float* g = self.grad.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* gsrc = g + o * len * inner;
+      float* gdst = ga + (o * dim_size + start) * inner;
+      for (int64_t i = 0; i < len * inner; ++i) gdst[i] += gsrc[i];
+    }
+  };
+  return MakeOpResult(out_shape, std::move(out), {a.impl()},
+                      std::move(backward), "slice");
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  START_CHECK_EQ(a.ndim(), 2);
+  const int64_t rows = a.dim(0), cols = a.dim(1);
+  const int64_t m = static_cast<int64_t>(indices.size());
+  std::vector<float> out(static_cast<size_t>(m * cols));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t r = indices[static_cast<size_t>(i)];
+    START_CHECK_MSG(r >= 0 && r < rows, "gather index " << r << " out of "
+                                                        << rows << " rows");
+    std::memcpy(out.data() + i * cols, pa + r * cols,
+                static_cast<size_t>(cols) * sizeof(float));
+  }
+  auto a_impl = a.impl();
+  auto idx = std::make_shared<std::vector<int64_t>>(indices);
+  auto backward = [a_impl, idx, m, cols](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    const float* g = self.grad.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t i = 0; i < m; ++i) {
+      float* dst = ga + (*idx)[static_cast<size_t>(i)] * cols;
+      const float* src = g + i * cols;
+      for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+    }
+  };
+  return MakeOpResult(Shape({m, cols}), std::move(out), {a.impl()},
+                      std::move(backward), "gather_rows");
+}
+
+}  // namespace start::tensor

@@ -1,0 +1,127 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace start::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'T', 'T', 'N'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* p, size_t n) {
+  return std::fwrite(p, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* p, size_t n) {
+  return std::fread(p, 1, n, f) == n;
+}
+
+}  // namespace
+
+common::Status SaveTensors(const std::string& path,
+                           const std::map<std::string, Tensor>& tensors) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return common::Status::IOError("cannot open for write: " + path);
+  }
+  const uint64_t count = tensors.size();
+  if (!WriteBytes(f.get(), kMagic, 4) ||
+      !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
+      !WriteBytes(f.get(), &count, sizeof(count))) {
+    return common::Status::IOError("write header failed: " + path);
+  }
+  for (const auto& [name, t] : tensors) {
+    if (!t.defined()) {
+      return common::Status::InvalidArgument("undefined tensor: " + name);
+    }
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    const uint32_t ndim = static_cast<uint32_t>(t.ndim());
+    if (!WriteBytes(f.get(), &name_len, sizeof(name_len)) ||
+        !WriteBytes(f.get(), name.data(), name.size()) ||
+        !WriteBytes(f.get(), &ndim, sizeof(ndim))) {
+      return common::Status::IOError("write tensor header failed: " + name);
+    }
+    for (int64_t i = 0; i < t.ndim(); ++i) {
+      const int64_t d = t.dim(i);
+      if (!WriteBytes(f.get(), &d, sizeof(d))) {
+        return common::Status::IOError("write dims failed: " + name);
+      }
+    }
+    if (!WriteBytes(f.get(), t.data(),
+                    static_cast<size_t>(t.numel()) * sizeof(float))) {
+      return common::Status::IOError("write data failed: " + name);
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Result<std::map<std::string, Tensor>> LoadTensors(
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return common::Status::IOError("cannot open for read: " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadBytes(f.get(), magic, 4) ||
+      !ReadBytes(f.get(), &version, sizeof(version)) ||
+      !ReadBytes(f.get(), &count, sizeof(count))) {
+    return common::Status::IOError("read header failed: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return common::Status::InvalidArgument("bad magic in " + path);
+  }
+  if (version != kVersion) {
+    return common::Status::InvalidArgument("unsupported version in " + path);
+  }
+  std::map<std::string, Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadBytes(f.get(), &name_len, sizeof(name_len))) {
+      return common::Status::IOError("read name length failed: " + path);
+    }
+    std::string name(name_len, '\0');
+    uint32_t ndim = 0;
+    if (!ReadBytes(f.get(), name.data(), name_len) ||
+        !ReadBytes(f.get(), &ndim, sizeof(ndim))) {
+      return common::Status::IOError("read tensor header failed: " + path);
+    }
+    if (ndim > 8) {
+      return common::Status::InvalidArgument("implausible ndim in " + path);
+    }
+    std::vector<int64_t> dims(ndim);
+    int64_t numel = 1;
+    for (auto& d : dims) {
+      if (!ReadBytes(f.get(), &d, sizeof(d))) {
+        return common::Status::IOError("read dims failed: " + path);
+      }
+      if (d <= 0) {
+        return common::Status::InvalidArgument("bad dim in " + path);
+      }
+      numel *= d;
+    }
+    std::vector<float> data(static_cast<size_t>(numel));
+    if (!ReadBytes(f.get(), data.data(),
+                   static_cast<size_t>(numel) * sizeof(float))) {
+      return common::Status::IOError("read data failed for " + name);
+    }
+    out.emplace(std::move(name),
+                Tensor::FromVector(Shape(std::move(dims)), std::move(data)));
+  }
+  return out;
+}
+
+}  // namespace start::tensor

@@ -1,0 +1,26 @@
+#ifndef START_TENSOR_SERIALIZE_H_
+#define START_TENSOR_SERIALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace start::tensor {
+
+/// \brief Writes named tensors to a binary file.
+///
+/// Format: magic "STTN", uint32 version, uint64 count, then per tensor:
+/// uint32 name length, name bytes, uint32 ndim, int64 dims..., float data.
+/// Used to persist pre-trained models for the transfer experiments (Table III).
+common::Status SaveTensors(const std::string& path,
+                           const std::map<std::string, Tensor>& tensors);
+
+/// Reads a tensor file written by SaveTensors.
+common::Result<std::map<std::string, Tensor>> LoadTensors(
+    const std::string& path);
+
+}  // namespace start::tensor
+
+#endif  // START_TENSOR_SERIALIZE_H_

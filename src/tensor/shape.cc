@@ -1,0 +1,48 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace start::tensor {
+
+int64_t Shape::dim(int64_t i) const {
+  const int64_t n = ndim();
+  if (i < 0) i += n;
+  START_CHECK_MSG(i >= 0 && i < n, "dim index " << i << " out of range for " << ToString());
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const int64_t n = std::max(a.ndim(), b.ndim());
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t da = i < a.ndim() ? a.dim(a.ndim() - 1 - i) : 1;
+    const int64_t db = i < b.ndim() ? b.dim(b.ndim() - 1 - i) : 1;
+    START_CHECK_MSG(da == db || da == 1 || db == 1,
+                    "shapes not broadcastable: " << a.ToString() << " vs "
+                                                 << b.ToString());
+    out[static_cast<size_t>(n - 1 - i)] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+}  // namespace start::tensor

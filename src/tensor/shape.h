@@ -1,0 +1,46 @@
+#ifndef START_TENSOR_SHAPE_H_
+#define START_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace start::tensor {
+
+/// \brief Dense row-major tensor shape (up to 4 dimensions are used in
+/// practice by this library).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  /// Number of dimensions (0 for a scalar-shaped tensor created as {}).
+  int64_t ndim() const { return static_cast<int64_t>(dims_.size()); }
+
+  /// Size of dimension `i`; negative indices count from the back.
+  int64_t dim(int64_t i) const;
+
+  /// Total number of elements (1 for an empty dims list).
+  int64_t numel() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  /// Renders like "[2, 3, 4]".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+/// Computes the numpy-style broadcast of two shapes; CHECK-fails when the
+/// shapes are not broadcast-compatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+}  // namespace start::tensor
+
+#endif  // START_TENSOR_SHAPE_H_

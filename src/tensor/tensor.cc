@@ -1,0 +1,215 @@
+#include "tensor/tensor.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace start::tensor {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
+  return Full(shape, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(shape.numel()), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  START_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector(Shape({1}), {value}, requires_grad);
+}
+
+Tensor Tensor::Rand(const Shape& shape, common::Rng* rng, float lo, float hi,
+                    bool requires_grad) {
+  START_CHECK(rng != nullptr);
+  std::vector<float> values(static_cast<size_t>(shape.numel()));
+  for (auto& v : values) v = static_cast<float>(rng->Uniform(lo, hi));
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+Tensor Tensor::RandN(const Shape& shape, common::Rng* rng, float mean,
+                     float stddev, bool requires_grad) {
+  START_CHECK(rng != nullptr);
+  std::vector<float> values(static_cast<size_t>(shape.numel()));
+  for (auto& v : values) v = static_cast<float>(rng->Normal(mean, stddev));
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+const Shape& Tensor::shape() const {
+  START_CHECK(defined());
+  return impl_->shape;
+}
+
+bool Tensor::requires_grad() const {
+  START_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool value) {
+  START_CHECK(defined());
+  impl_->requires_grad = value;
+  if (value) impl_->AllocGrad();
+}
+
+float* Tensor::data() {
+  START_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  START_CHECK(defined());
+  return impl_->data.data();
+}
+
+float* Tensor::grad() {
+  START_CHECK(defined());
+  START_CHECK_MSG(impl_->grad.size() == impl_->data.size(),
+                  "gradient not allocated for op " << impl_->op);
+  return impl_->grad.data();
+}
+
+const float* Tensor::grad() const {
+  return const_cast<Tensor*>(this)->grad();
+}
+
+bool Tensor::has_grad() const {
+  START_CHECK(defined());
+  return impl_->grad.size() == impl_->data.size();
+}
+
+float Tensor::item() const {
+  START_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  START_CHECK(defined());
+  const auto& dims = shape().dims();
+  START_CHECK_EQ(static_cast<int64_t>(idx.size()), ndim());
+  int64_t flat = 0;
+  size_t i = 0;
+  for (int64_t ix : idx) {
+    START_CHECK_GE(ix, 0);
+    START_CHECK_LT(ix, dims[i]);
+    flat = flat * dims[i] + ix;
+    ++i;
+  }
+  return impl_->data[static_cast<size_t>(flat)];
+}
+
+void Tensor::ZeroGrad() {
+  START_CHECK(defined());
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+namespace {
+
+/// Builds a topological order of the autograd graph reachable from `root`
+/// (parents before children in the returned vector).
+void TopoSort(const std::shared_ptr<TensorImpl>& root,
+              std::vector<std::shared_ptr<TensorImpl>>* order) {
+  std::unordered_set<TensorImpl*> visited;
+  // Iterative post-order DFS (graphs can be deep for RNN baselines).
+  std::vector<std::pair<std::shared_ptr<TensorImpl>, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      auto child = node->parents[next_child++];
+      if (visited.insert(child.get()).second) {
+        stack.emplace_back(std::move(child), 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  START_CHECK_MSG(numel() == 1, "Backward() without seed requires a scalar");
+  Backward({1.0f});
+}
+
+void Tensor::Backward(const std::vector<float>& seed) {
+  START_CHECK(defined());
+  START_CHECK_EQ(static_cast<int64_t>(seed.size()), numel());
+  std::vector<std::shared_ptr<TensorImpl>> order;
+  TopoSort(impl_, &order);
+  // Leaf gradients accumulate across Backward() calls (optimizers own their
+  // lifecycle); interior-node gradients are scratch space and reset here so
+  // repeated backward passes through a retained graph behave like the first.
+  for (auto& node : order) {
+    if (node->backward_fn) {
+      node->grad.assign(node->data.size(), 0.0f);
+    } else {
+      node->AllocGrad();
+    }
+  }
+  for (size_t i = 0; i < seed.size(); ++i) impl_->grad[i] += seed[i];
+  // Children come after parents in `order`; run backward in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn(**it);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  START_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor MakeOpResult(Shape shape, std::vector<float> data,
+                    std::vector<std::shared_ptr<TensorImpl>> parents,
+                    std::function<void(TensorImpl&)> backward_fn,
+                    const char* op_name) {
+  START_CHECK_EQ(static_cast<int64_t>(data.size()), shape.numel());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->op = op_name;
+  if (GradModeEnabled()) {
+    bool any_requires = false;
+    for (const auto& p : parents) any_requires |= p->requires_grad;
+    if (any_requires) {
+      impl->requires_grad = true;
+      impl->parents = std::move(parents);
+      impl->backward_fn = std::move(backward_fn);
+    }
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace start::tensor

@@ -1,0 +1,136 @@
+#ifndef START_TENSOR_TENSOR_H_
+#define START_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace start::tensor {
+
+class Tensor;
+
+/// \brief Storage + autograd node backing a Tensor handle.
+///
+/// Holds the value buffer, the (lazily allocated) gradient buffer, and the
+/// reverse-mode autograd edges: the parent nodes this value was computed from
+/// and a backward function that reads `grad` and accumulates into the parents'
+/// `grad` buffers.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  ///< Same length as data once AllocGrad() ran.
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+  const char* op = "leaf";
+
+  /// Ensures the gradient buffer exists (zero-filled).
+  void AllocGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// Returns true while gradient recording is enabled (default). Ops skip
+/// building the autograd graph when disabled.
+bool GradModeEnabled();
+
+/// \brief RAII guard that disables autograd graph construction (inference).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// \brief Value-semantics handle to a dense float tensor with reverse-mode
+/// autograd.
+///
+/// Copying a Tensor copies the handle (both handles alias the same storage),
+/// mirroring torch.Tensor semantics. All shape checking is done with
+/// START_CHECK (shape mismatch is a programming error, not a runtime
+/// condition).
+class Tensor {
+ public:
+  /// Null handle; defined() is false.
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // ---- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
+  /// Takes ownership of `values`; values.size() must equal shape.numel().
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// Scalar (shape {1}).
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// Uniform random in [lo, hi).
+  static Tensor Rand(const Shape& shape, common::Rng* rng, float lo, float hi,
+                     bool requires_grad = false);
+  /// Normal random.
+  static Tensor RandN(const Shape& shape, common::Rng* rng, float mean,
+                      float stddev, bool requires_grad = false);
+
+  // ---- Introspection -------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t ndim() const { return shape().ndim(); }
+  int64_t dim(int64_t i) const { return shape().dim(i); }
+  int64_t numel() const { return shape().numel(); }
+  bool requires_grad() const;
+  /// Marks a leaf tensor as a trainable parameter.
+  void set_requires_grad(bool value);
+
+  float* data();
+  const float* data() const;
+  /// Gradient buffer; CHECK-fails when not allocated (call AllocGrad or run
+  /// Backward first).
+  float* grad();
+  const float* grad() const;
+  bool has_grad() const;
+
+  /// Value of a 1-element tensor.
+  float item() const;
+  /// Element accessor by multi-index (row-major); for tests/debugging.
+  float at(std::initializer_list<int64_t> idx) const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  // ---- Autograd ------------------------------------------------------------
+
+  /// Zeroes this tensor's gradient buffer (allocating it if needed).
+  void ZeroGrad();
+
+  /// Runs reverse-mode autodiff from this (scalar) tensor, seeding d(self)=1.
+  void Backward();
+
+  /// Runs reverse-mode autodiff with an explicit seed gradient (same numel).
+  void Backward(const std::vector<float>& seed);
+
+  /// Returns a new leaf tensor sharing no graph edges (data is copied).
+  Tensor Detach() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Creates a graph node: output tensor whose backward_fn routes gradients to
+/// `parents`. Used by op implementations; exposed for extension ops.
+Tensor MakeOpResult(Shape shape, std::vector<float> data,
+                    std::vector<std::shared_ptr<TensorImpl>> parents,
+                    std::function<void(TensorImpl&)> backward_fn,
+                    const char* op_name);
+
+}  // namespace start::tensor
+
+#endif  // START_TENSOR_TENSOR_H_

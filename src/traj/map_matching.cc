@@ -1,0 +1,163 @@
+#include "traj/map_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace start::traj {
+
+GpsTrajectory SimulateGps(const roadnet::RoadNetwork& net,
+                          const Trajectory& traj, double sample_interval_s,
+                          double noise_m, common::Rng* rng) {
+  START_CHECK(rng != nullptr);
+  START_CHECK_GT(sample_interval_s, 0.0);
+  GpsTrajectory gps;
+  if (traj.roads.empty()) return gps;
+  // Walk the trajectory; within each segment interpolate linearly between
+  // its endpoints over its occupancy interval [t_i, t_{i+1}).
+  double next_sample = static_cast<double>(traj.timestamps.front());
+  for (int64_t i = 0; i < traj.size(); ++i) {
+    const auto& seg = net.segment(traj.roads[static_cast<size_t>(i)]);
+    const double t_in = static_cast<double>(traj.timestamps[static_cast<size_t>(i)]);
+    const double t_out =
+        i + 1 < traj.size()
+            ? static_cast<double>(traj.timestamps[static_cast<size_t>(i + 1)])
+            : static_cast<double>(traj.end_time);
+    if (t_out <= t_in) continue;
+    while (next_sample < t_out) {
+      const double frac = (next_sample - t_in) / (t_out - t_in);
+      if (frac >= 0.0) {
+        GpsPoint p;
+        p.x = seg.x0 + frac * (seg.x1 - seg.x0) + rng->Normal(0.0, noise_m);
+        p.y = seg.y0 + frac * (seg.y1 - seg.y0) + rng->Normal(0.0, noise_m);
+        p.timestamp = static_cast<int64_t>(next_sample);
+        gps.points.push_back(p);
+      }
+      next_sample += sample_interval_s;
+    }
+  }
+  return gps;
+}
+
+double HmmMapMatcher::PointToSegmentDistance(const roadnet::RoadSegment& seg,
+                                             double x, double y) {
+  const double vx = seg.x1 - seg.x0, vy = seg.y1 - seg.y0;
+  const double wx = x - seg.x0, wy = y - seg.y0;
+  const double vv = vx * vx + vy * vy;
+  double t = vv > 0.0 ? (wx * vx + wy * vy) / vv : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const double px = seg.x0 + t * vx, py = seg.y0 + t * vy;
+  return std::hypot(x - px, y - py);
+}
+
+HmmMapMatcher::HmmMapMatcher(const roadnet::RoadNetwork* net,
+                             const Config& config)
+    : net_(net), config_(config) {
+  START_CHECK(net != nullptr);
+  START_CHECK(net->finalized());
+}
+
+std::vector<int64_t> HmmMapMatcher::Candidates(double x, double y) const {
+  std::vector<std::pair<double, int64_t>> scored;
+  for (int64_t v = 0; v < net_->num_segments(); ++v) {
+    const double d = PointToSegmentDistance(net_->segment(v), x, y);
+    if (d <= config_.candidate_radius_m) scored.emplace_back(d, v);
+  }
+  std::sort(scored.begin(), scored.end());
+  // Keep the closest few candidates to bound Viterbi cost.
+  constexpr size_t kMaxCandidates = 8;
+  if (scored.size() > kMaxCandidates) scored.resize(kMaxCandidates);
+  std::vector<int64_t> out;
+  out.reserve(scored.size());
+  for (const auto& [d, v] : scored) out.push_back(v);
+  return out;
+}
+
+std::vector<int64_t> HmmMapMatcher::Match(const GpsTrajectory& gps) const {
+  const int64_t n = static_cast<int64_t>(gps.points.size());
+  if (n == 0) return {};
+  const double inv_two_sigma2 =
+      1.0 / (2.0 * config_.emission_sigma_m * config_.emission_sigma_m);
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  std::vector<std::vector<int64_t>> cands(static_cast<size_t>(n));
+  std::vector<std::vector<double>> score(static_cast<size_t>(n));
+  std::vector<std::vector<int32_t>> back(static_cast<size_t>(n));
+  for (int64_t t = 0; t < n; ++t) {
+    cands[static_cast<size_t>(t)] =
+        Candidates(gps.points[static_cast<size_t>(t)].x,
+                   gps.points[static_cast<size_t>(t)].y);
+    if (cands[static_cast<size_t>(t)].empty()) return {};
+    score[static_cast<size_t>(t)].assign(
+        cands[static_cast<size_t>(t)].size(), kNegInf);
+    back[static_cast<size_t>(t)].assign(
+        cands[static_cast<size_t>(t)].size(), -1);
+  }
+  auto emission = [&](int64_t t, size_t c) {
+    const double d = PointToSegmentDistance(
+        net_->segment(cands[static_cast<size_t>(t)][c]),
+        gps.points[static_cast<size_t>(t)].x,
+        gps.points[static_cast<size_t>(t)].y);
+    return -d * d * inv_two_sigma2;
+  };
+  // Transition log-prob by hop distance (0 hops: same segment; 1 hop:
+  // direct successor; 2 hops: one intermediate).
+  auto transition = [&](int64_t from, int64_t to) {
+    if (from == to) return 0.0;
+    if (net_->HasEdge(from, to)) return -config_.hop_penalty;
+    for (const int64_t mid : net_->OutNeighbors(from)) {
+      if (net_->HasEdge(mid, to)) return -2.0 * config_.hop_penalty;
+    }
+    return kNegInf;
+  };
+  for (size_t c = 0; c < cands[0].size(); ++c) {
+    score[0][c] = emission(0, c);
+  }
+  for (int64_t t = 1; t < n; ++t) {
+    for (size_t c = 0; c < cands[static_cast<size_t>(t)].size(); ++c) {
+      const double em = emission(t, c);
+      for (size_t p = 0; p < cands[static_cast<size_t>(t - 1)].size(); ++p) {
+        if (score[static_cast<size_t>(t - 1)][p] == kNegInf) continue;
+        const double tr =
+            transition(cands[static_cast<size_t>(t - 1)][p],
+                       cands[static_cast<size_t>(t)][c]);
+        if (tr == kNegInf) continue;
+        const double s = score[static_cast<size_t>(t - 1)][p] + tr + em;
+        if (s > score[static_cast<size_t>(t)][c]) {
+          score[static_cast<size_t>(t)][c] = s;
+          back[static_cast<size_t>(t)][c] = static_cast<int32_t>(p);
+        }
+      }
+    }
+  }
+  // Best final state.
+  size_t best = 0;
+  double best_score = kNegInf;
+  for (size_t c = 0; c < cands[static_cast<size_t>(n - 1)].size(); ++c) {
+    if (score[static_cast<size_t>(n - 1)][c] > best_score) {
+      best_score = score[static_cast<size_t>(n - 1)][c];
+      best = c;
+    }
+  }
+  if (best_score == kNegInf) return {};
+  std::vector<int64_t> states(static_cast<size_t>(n));
+  int64_t cur = static_cast<int64_t>(best);
+  for (int64_t t = n - 1; t >= 0; --t) {
+    states[static_cast<size_t>(t)] =
+        cands[static_cast<size_t>(t)][static_cast<size_t>(cur)];
+    if (t > 0) {
+      cur = back[static_cast<size_t>(t)][static_cast<size_t>(cur)];
+      if (cur < 0) return {};  // broken chain
+    }
+  }
+  // Collapse consecutive duplicates into the road sequence.
+  std::vector<int64_t> roads;
+  for (const int64_t s : states) {
+    if (roads.empty() || roads.back() != s) roads.push_back(s);
+  }
+  return roads;
+}
+
+}  // namespace start::traj

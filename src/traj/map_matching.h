@@ -1,0 +1,54 @@
+#ifndef START_TRAJ_MAP_MATCHING_H_
+#define START_TRAJ_MAP_MATCHING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace start::traj {
+
+/// \brief Simulates raw GPS sampling of a road-constrained trajectory:
+/// positions are interpolated along segment geometry every
+/// `sample_interval_s` seconds and perturbed with Gaussian noise of std
+/// `noise_m` meters (the Porto dataset samples every 15 s; Sec. IV-A).
+GpsTrajectory SimulateGps(const roadnet::RoadNetwork& net,
+                          const Trajectory& traj, double sample_interval_s,
+                          double noise_m, common::Rng* rng);
+
+/// \brief HMM map matcher (the FMM [21] substitute; see DESIGN.md).
+///
+/// Candidates for each GPS point are segments whose distance is below
+/// `candidate_radius_m`. Emission: Gaussian in point-to-segment distance.
+/// Transition: free for staying on a segment, mild penalty per hop for
+/// network-adjacent moves (up to 2 hops), impossible otherwise. Viterbi
+/// decoding, then consecutive duplicates are collapsed into the recovered
+/// road sequence.
+class HmmMapMatcher {
+ public:
+  struct Config {
+    double candidate_radius_m = 120.0;
+    double emission_sigma_m = 35.0;
+    double hop_penalty = 1.2;  ///< Log-space penalty per network hop.
+  };
+
+  HmmMapMatcher(const roadnet::RoadNetwork* net, const Config& config);
+
+  /// Returns the recovered road sequence (empty when matching fails).
+  std::vector<int64_t> Match(const GpsTrajectory& gps) const;
+
+  /// Distance (meters) from a point to a segment's geometry.
+  static double PointToSegmentDistance(const roadnet::RoadSegment& seg,
+                                       double x, double y);
+
+ private:
+  std::vector<int64_t> Candidates(double x, double y) const;
+
+  const roadnet::RoadNetwork* net_;
+  Config config_;
+};
+
+}  // namespace start::traj
+
+#endif  // START_TRAJ_MAP_MATCHING_H_

@@ -1,0 +1,43 @@
+#include "traj/stats.h"
+
+#include <algorithm>
+#include <set>
+
+namespace start::traj {
+
+CorpusStats ComputeStats(const roadnet::RoadNetwork& net,
+                         const std::vector<Trajectory>& corpus) {
+  CorpusStats s;
+  s.num_trajectories = static_cast<int64_t>(corpus.size());
+  s.road_visits.assign(static_cast<size_t>(net.num_segments()), 0);
+  std::set<int64_t> users;
+  double total_len = 0.0, total_time = 0.0;
+  for (const auto& t : corpus) {
+    users.insert(t.driver_id);
+    total_len += static_cast<double>(t.size());
+    total_time += static_cast<double>(t.TravelTimeSeconds());
+    const int64_t dep = t.departure_time();
+    s.per_day_of_week[static_cast<size_t>(DayOfWeekIndex(dep) - 1)]++;
+    s.per_hour[static_cast<size_t>(static_cast<int64_t>(HourOfDay(dep)))]++;
+    for (const int64_t r : t.roads) {
+      s.road_visits[static_cast<size_t>(r)]++;
+    }
+    for (size_t i = 0; i + 1 < t.timestamps.size(); ++i) {
+      const int64_t dt = t.timestamps[i + 1] - t.timestamps[i];
+      const size_t bin = std::min<size_t>(
+          s.interval_histogram.size() - 1, static_cast<size_t>(dt / 5));
+      s.interval_histogram[bin]++;
+    }
+  }
+  s.num_users = static_cast<int64_t>(users.size());
+  s.num_covered_roads = static_cast<int64_t>(
+      std::count_if(s.road_visits.begin(), s.road_visits.end(),
+                    [](int64_t c) { return c > 0; }));
+  if (!corpus.empty()) {
+    s.mean_length = total_len / static_cast<double>(corpus.size());
+    s.mean_travel_time_s = total_time / static_cast<double>(corpus.size());
+  }
+  return s;
+}
+
+}  // namespace start::traj

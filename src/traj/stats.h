@@ -1,0 +1,38 @@
+#ifndef START_TRAJ_STATS_H_
+#define START_TRAJ_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace start::traj {
+
+/// \brief Corpus statistics backing Fig. 1 and Table I of the paper.
+struct CorpusStats {
+  int64_t num_trajectories = 0;
+  int64_t num_users = 0;
+  int64_t num_covered_roads = 0;      ///< Roads visited at least once.
+  double mean_length = 0.0;           ///< Mean hops per trajectory.
+  double mean_travel_time_s = 0.0;
+
+  /// Trajectory counts per day-of-week (index 0 = Monday) — Fig. 1(b).
+  std::vector<int64_t> per_day_of_week = std::vector<int64_t>(7, 0);
+  /// Trajectory counts per hour of day (24 bins) — Fig. 1(b).
+  std::vector<int64_t> per_hour = std::vector<int64_t>(24, 0);
+  /// Road visit counts (size |V|), sorted descending exposes the skew of
+  /// Fig. 1(a).
+  std::vector<int64_t> road_visits;
+  /// Histogram of inter-point time intervals, 5-second bins up to 120 s —
+  /// Fig. 1(c).
+  std::vector<int64_t> interval_histogram = std::vector<int64_t>(24, 0);
+};
+
+/// Computes corpus statistics.
+CorpusStats ComputeStats(const roadnet::RoadNetwork& net,
+                         const std::vector<Trajectory>& corpus);
+
+}  // namespace start::traj
+
+#endif  // START_TRAJ_STATS_H_

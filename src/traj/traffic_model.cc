@@ -1,0 +1,97 @@
+#include "traj/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace start::traj {
+
+TrafficModel::TrafficModel(const roadnet::RoadNetwork* net,
+                           const Config& config)
+    : net_(net), config_(config) {
+  START_CHECK(net != nullptr);
+  START_CHECK(net->finalized());
+  common::Rng rng(config.seed);
+  propensity_.resize(static_cast<size_t>(net->num_segments()));
+  for (int64_t v = 0; v < net->num_segments(); ++v) {
+    // Arterials attract commuter flow and congest harder; side streets less.
+    double base = 0.35;
+    switch (net->segment(v).type) {
+      case roadnet::RoadType::kMotorway:
+      case roadnet::RoadType::kPrimary:
+        base = 0.85;
+        break;
+      case roadnet::RoadType::kSecondary:
+        base = 0.65;
+        break;
+      case roadnet::RoadType::kTertiary:
+        base = 0.5;
+        break;
+      case roadnet::RoadType::kResidential:
+        base = 0.3;
+        break;
+    }
+    propensity_[static_cast<size_t>(v)] =
+        std::clamp(base + rng.Uniform(-0.15, 0.15), 0.05, 1.0);
+  }
+}
+
+double TrafficModel::RushIntensity(int64_t timestamp) const {
+  const double h = HourOfDay(timestamp);
+  auto bump = [](double hour, double center, double sigma) {
+    const double d = hour - center;
+    return std::exp(-0.5 * d * d / (sigma * sigma));
+  };
+  if (IsWeekend(timestamp)) {
+    return config_.weekend_slowdown / config_.max_slowdown *
+           bump(h, config_.weekend_midday_peak, 2.4);
+  }
+  const double morning = bump(h, config_.morning_peak_hour,
+                              config_.peak_width_hours);
+  const double evening = bump(h, config_.evening_peak_hour,
+                              config_.peak_width_hours);
+  return std::min(1.0, morning + evening);
+}
+
+double TrafficModel::SpeedFactor(int64_t road, int64_t timestamp) const {
+  const double rush = RushIntensity(timestamp);
+  const double slowdown =
+      config_.max_slowdown * propensity_[static_cast<size_t>(road)] * rush;
+  return std::max(0.15, 1.0 - slowdown);
+}
+
+double TrafficModel::ExpectedTravelTime(int64_t road,
+                                        int64_t timestamp) const {
+  const auto& seg = net_->segment(road);
+  return seg.length_m / (seg.maxspeed_mps * SpeedFactor(road, timestamp));
+}
+
+double TrafficModel::SampleTravelTime(int64_t road, int64_t timestamp,
+                                      common::Rng* rng) const {
+  START_CHECK(rng != nullptr);
+  const double noise =
+      std::max(0.5, 1.0 + rng->Normal(0.0, config_.noise));
+  return ExpectedTravelTime(road, timestamp) * noise;
+}
+
+double TrafficModel::HistoricalMeanTravelTime(int64_t road) const {
+  // Average the deterministic profile over a representative week.
+  double total = 0.0;
+  int64_t samples = 0;
+  for (int64_t day = 0; day < 7; ++day) {
+    for (int64_t hour = 0; hour < 24; ++hour) {
+      const int64_t t = day * kSecondsPerDay + hour * 3600;
+      total += ExpectedTravelTime(road, t);
+      ++samples;
+    }
+  }
+  return total / static_cast<double>(samples);
+}
+
+double TrafficModel::CongestionPropensity(int64_t road) const {
+  START_CHECK(road >= 0 && road < net_->num_segments());
+  return propensity_[static_cast<size_t>(road)];
+}
+
+}  // namespace start::traj

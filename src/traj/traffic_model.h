@@ -1,0 +1,65 @@
+#ifndef START_TRAJ_TRAFFIC_MODEL_H_
+#define START_TRAJ_TRAFFIC_MODEL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace start::traj {
+
+/// \brief Time-dependent congestion model of the synthetic city.
+///
+/// Produces the two temporal regularities the paper builds on (Fig. 1):
+/// periodic urban traffic (weekday morning/evening rush hours, flatter
+/// weekends) and dynamic per-road travel times. Each road has a congestion
+/// propensity — arterials congest more — so travel times carry road-specific
+/// temporal signal.
+class TrafficModel {
+ public:
+  struct Config {
+    double morning_peak_hour = 8.0;
+    double evening_peak_hour = 18.0;
+    double peak_width_hours = 1.6;      ///< Gaussian sigma of the rush bumps.
+    double max_slowdown = 0.62;         ///< Peak fractional speed reduction.
+    double weekend_midday_peak = 14.0;
+    double weekend_slowdown = 0.25;
+    double noise = 0.08;                ///< Per-traversal speed noise (std).
+    uint64_t seed = 99;
+  };
+
+  TrafficModel(const roadnet::RoadNetwork* net, const Config& config);
+
+  /// Rush intensity in [0, 1] at `timestamp` (weekday double-peak profile or
+  /// the weekend midday bump).
+  double RushIntensity(int64_t timestamp) const;
+
+  /// Deterministic expected speed multiplier in (0, 1] for a road at a time.
+  double SpeedFactor(int64_t road, int64_t timestamp) const;
+
+  /// Expected (noise-free) travel time of `road` entered at `timestamp`, s.
+  double ExpectedTravelTime(int64_t road, int64_t timestamp) const;
+
+  /// Noisy travel time of one traversal (uses `rng`), seconds.
+  double SampleTravelTime(int64_t road, int64_t timestamp,
+                          common::Rng* rng) const;
+
+  /// Historical mean travel time of a road (time-of-day averaged); this is
+  /// the t_his used by the Temporal Shifting augmentation (Sec. III-C2).
+  double HistoricalMeanTravelTime(int64_t road) const;
+
+  /// Congestion propensity of a road in [0, 1].
+  double CongestionPropensity(int64_t road) const;
+
+  const roadnet::RoadNetwork& network() const { return *net_; }
+
+ private:
+  const roadnet::RoadNetwork* net_;
+  Config config_;
+  std::vector<double> propensity_;  ///< Per-road congestion propensity.
+};
+
+}  // namespace start::traj
+
+#endif  // START_TRAJ_TRAFFIC_MODEL_H_

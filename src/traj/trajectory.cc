@@ -1,0 +1,28 @@
+#include "traj/trajectory.h"
+
+namespace start::traj {
+
+int64_t MinuteIndex(int64_t timestamp) {
+  int64_t m = (timestamp / 60) % 1440;
+  if (m < 0) m += 1440;
+  return m + 1;
+}
+
+int64_t DayOfWeekIndex(int64_t timestamp) {
+  int64_t d = (timestamp / kSecondsPerDay) % 7;
+  if (d < 0) d += 7;
+  return d + 1;
+}
+
+bool IsWeekend(int64_t timestamp) {
+  const int64_t dow = DayOfWeekIndex(timestamp);
+  return dow == 6 || dow == 7;
+}
+
+double HourOfDay(int64_t timestamp) {
+  int64_t s = timestamp % kSecondsPerDay;
+  if (s < 0) s += kSecondsPerDay;
+  return static_cast<double>(s) / 3600.0;
+}
+
+}  // namespace start::traj

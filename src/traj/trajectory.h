@@ -1,0 +1,60 @@
+#ifndef START_TRAJ_TRAJECTORY_H_
+#define START_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace start::traj {
+
+/// Seconds per day / week for the synthetic calendar. Time zero is Monday
+/// 00:00 of the dataset's first week.
+constexpr int64_t kSecondsPerDay = 86400;
+constexpr int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Minute-of-day index in [1, 1440] (Sec. III-B1; index 0 is reserved for the
+/// [MASKT] token).
+int64_t MinuteIndex(int64_t timestamp);
+
+/// Day-of-week index in [1, 7], 1 = Monday (index 0 reserved for [MASKT]).
+int64_t DayOfWeekIndex(int64_t timestamp);
+
+/// True for Saturday/Sunday.
+bool IsWeekend(int64_t timestamp);
+
+/// Hour of day in [0, 24).
+double HourOfDay(int64_t timestamp);
+
+/// \brief Road-network constrained trajectory (Definition 3): a time-ordered
+/// sequence of adjacent road segments with visit timestamps, plus the labels
+/// used by the downstream tasks.
+struct Trajectory {
+  std::vector<int64_t> roads;       ///< Segment ids, adjacent in the network.
+  std::vector<int64_t> timestamps;  ///< Entry time (s) into each segment.
+  int64_t end_time = 0;             ///< Exit time of the last segment.
+  int64_t driver_id = -1;           ///< Multi-class label (Porto-style task).
+  bool occupied = false;            ///< Binary label (BJ-style task).
+  int32_t transport_mode = 0;       ///< Geolife-style label (Table III).
+
+  int64_t size() const { return static_cast<int64_t>(roads.size()); }
+  int64_t departure_time() const { return timestamps.empty() ? 0 : timestamps.front(); }
+  /// Total travel time in seconds.
+  int64_t TravelTimeSeconds() const {
+    return timestamps.empty() ? 0 : end_time - timestamps.front();
+  }
+};
+
+/// \brief A raw GPS sample point (Definition 2) in the local metric frame.
+struct GpsPoint {
+  double x = 0.0;
+  double y = 0.0;
+  int64_t timestamp = 0;
+};
+
+/// A raw GPS trajectory.
+struct GpsTrajectory {
+  std::vector<GpsPoint> points;
+};
+
+}  // namespace start::traj
+
+#endif  // START_TRAJ_TRAJECTORY_H_

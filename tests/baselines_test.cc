@@ -1,0 +1,185 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "baselines/node2vec.h"
+#include "baselines/pim.h"
+#include "baselines/seq2seq.h"
+#include "baselines/transformer.h"
+#include "data/dataset.h"
+#include "roadnet/synthetic_city.h"
+#include "traj/trip_generator.h"
+
+namespace start::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : net_(roadnet::BuildSyntheticCity(
+            {.grid_width = 5, .grid_height = 5})),
+        traffic_(&net_, {}) {
+    traj::TripGenerator::Config config;
+    config.num_drivers = 4;
+    config.num_days = 4;
+    config.trips_per_driver_day = 4.0;
+    traj::TripGenerator gen(&traffic_, config);
+    auto raw = gen.Generate();
+    data::DatasetConfig ds;
+    ds.min_length = 5;
+    ds.min_user_trajectories = 3;
+    corpus_ = data::TrajDataset::FromCorpus(net_, std::move(raw), ds).All();
+  }
+
+  PretrainOptions QuickOptions() const {
+    PretrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 8;
+    return options;
+  }
+
+  void CheckEncoderContract(SequenceBaseline* model) {
+    // Pretraining runs and returns a finite loss.
+    const double loss = model->Pretrain(corpus_, QuickOptions());
+    EXPECT_TRUE(std::isfinite(loss));
+    // Embeddings have the right shape and are finite and non-constant.
+    std::vector<traj::Trajectory> sample(corpus_.begin(),
+                                         corpus_.begin() + 6);
+    const auto emb = model->EmbedAll(sample, eval::EncodeMode::kFull);
+    ASSERT_EQ(static_cast<int64_t>(emb.size()), 6 * model->dim());
+    double var = 0.0;
+    for (int64_t j = 0; j < model->dim(); ++j) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < 6; ++i) mean += emb[i * model->dim() + j];
+      mean /= 6.0;
+      for (int64_t i = 0; i < 6; ++i) {
+        const double d = emb[i * model->dim() + j] - mean;
+        var += d * d;
+      }
+    }
+    EXPECT_GT(var, 1e-8);
+    for (const float v : emb) EXPECT_TRUE(std::isfinite(v));
+  }
+
+  roadnet::RoadNetwork net_;
+  traj::TrafficModel traffic_;
+  std::vector<traj::Trajectory> corpus_;
+};
+
+TEST_F(BaselinesTest, Node2VecEmbedsNeighborsCloser) {
+  Node2VecConfig config;
+  config.dim = 16;
+  config.epochs = 3;
+  const auto emb = TrainNode2Vec(net_, config);
+  ASSERT_EQ(static_cast<int64_t>(emb.size()), net_.num_segments() * 16);
+  // Cosine similarity of connected pairs should exceed random pairs.
+  auto cosine = [&](int64_t a, int64_t b) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (int64_t j = 0; j < 16; ++j) {
+      dot += emb[a * 16 + j] * emb[b * 16 + j];
+      na += emb[a * 16 + j] * emb[a * 16 + j];
+      nb += emb[b * 16 + j] * emb[b * 16 + j];
+    }
+    return dot / std::sqrt(na * nb + 1e-12);
+  };
+  double connected = 0.0;
+  int64_t nc = 0;
+  for (size_t e = 0; e < net_.edge_sources().size(); e += 3) {
+    connected += cosine(net_.edge_sources()[e], net_.edge_targets()[e]);
+    ++nc;
+  }
+  common::Rng rng(1);
+  double random = 0.0;
+  int64_t nr = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t a = rng.UniformInt(net_.num_segments());
+    const int64_t b = rng.UniformInt(net_.num_segments());
+    if (a == b) continue;
+    random += cosine(a, b);
+    ++nr;
+  }
+  EXPECT_GT(connected / nc, random / nr + 0.05);
+}
+
+TEST_F(BaselinesTest, Traj2VecContract) {
+  common::Rng rng(2);
+  Traj2Vec model({.d = 16, .seed = 2}, &net_, &rng);
+  CheckEncoderContract(&model);
+}
+
+TEST_F(BaselinesTest, T2VecContract) {
+  common::Rng rng(3);
+  T2Vec model({.d = 16, .seed = 3}, &net_, &rng);
+  CheckEncoderContract(&model);
+}
+
+TEST_F(BaselinesTest, TrembrContract) {
+  common::Rng rng(4);
+  Trembr model({.d = 16, .seed = 4}, &net_, &rng);
+  CheckEncoderContract(&model);
+}
+
+TEST_F(BaselinesTest, TransformerMlmContract) {
+  common::Rng rng(5);
+  TransformerBaselineConfig config;
+  config.d = 16;
+  config.layers = 1;
+  config.heads = 2;
+  TransformerMlm model(config, &net_, &rng);
+  CheckEncoderContract(&model);
+}
+
+TEST_F(BaselinesTest, BertContract) {
+  common::Rng rng(6);
+  TransformerBaselineConfig config;
+  config.d = 16;
+  config.layers = 1;
+  config.heads = 2;
+  Bert model(config, &net_, &rng);
+  CheckEncoderContract(&model);
+}
+
+TEST_F(BaselinesTest, ToastUsesNode2VecInit) {
+  common::Rng rng(7);
+  Node2VecConfig n2v;
+  n2v.dim = 16;
+  n2v.epochs = 1;
+  TransformerBaselineConfig config;
+  config.d = 16;
+  config.layers = 1;
+  config.heads = 2;
+  config.road_embedding_init = TrainNode2Vec(net_, n2v);
+  Toast model(config, &net_, &rng);
+  CheckEncoderContract(&model);
+}
+
+TEST_F(BaselinesTest, PimContract) {
+  common::Rng rng(8);
+  PimConfig config;
+  config.d = 16;
+  Pim model(config, &net_, &rng);
+  CheckEncoderContract(&model);
+}
+
+TEST_F(BaselinesTest, PimTfContract) {
+  common::Rng rng(9);
+  PimConfig config;
+  config.d = 16;
+  PimTf model(config, &net_, &rng);
+  CheckEncoderContract(&model);
+}
+
+TEST_F(BaselinesTest, TrembrPretrainingReducesLoss) {
+  common::Rng rng(10);
+  Trembr model({.d = 16, .seed = 10}, &net_, &rng);
+  PretrainOptions one;
+  one.epochs = 1;
+  one.batch_size = 8;
+  const double first = model.Pretrain(corpus_, one);
+  PretrainOptions more = one;
+  more.epochs = 3;
+  const double later = model.Pretrain(corpus_, more);
+  EXPECT_LT(later, first);
+}
+
+}  // namespace
+}  // namespace start::baselines

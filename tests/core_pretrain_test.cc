@@ -1,0 +1,140 @@
+#include "core/pretrain.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/span_mask.h"
+#include "roadnet/synthetic_city.h"
+#include "traj/trip_generator.h"
+
+namespace start::core {
+namespace {
+
+class PretrainTest : public ::testing::Test {
+ protected:
+  PretrainTest()
+      : net_(roadnet::BuildSyntheticCity(
+            {.grid_width = 5, .grid_height = 5})),
+        traffic_(&net_, {}) {
+    traj::TripGenerator::Config config;
+    config.num_drivers = 8;
+    config.num_days = 8;
+    config.trips_per_driver_day = 4.0;
+    traj::TripGenerator gen(&traffic_, config);
+    auto raw = gen.Generate();
+    data::DatasetConfig ds;
+    ds.min_length = 5;
+    ds.min_user_trajectories = 5;
+    corpus_ = data::TrajDataset::FromCorpus(net_, std::move(raw), ds).All();
+    transfer_ = std::make_unique<roadnet::TransferProbability>(
+        roadnet::TransferProbability::FromTrajectories(
+            net_, [&] {
+              std::vector<std::vector<int64_t>> seqs;
+              for (const auto& t : corpus_) seqs.push_back(t.roads);
+              return seqs;
+            }()));
+  }
+
+  StartConfig TinyConfig() const {
+    StartConfig config;
+    config.d = 16;
+    config.gat_layers = 1;
+    config.gat_heads = {2};
+    config.encoder_layers = 1;
+    config.encoder_heads = 2;
+    config.max_len = 64;
+    return config;
+  }
+
+  roadnet::RoadNetwork net_;
+  traj::TrafficModel traffic_;
+  std::vector<traj::Trajectory> corpus_;
+  std::unique_ptr<roadnet::TransferProbability> transfer_;
+};
+
+TEST_F(PretrainTest, LossDecreasesOverEpochs) {
+  ASSERT_GT(corpus_.size(), 30u);
+  common::Rng rng(1);
+  StartModel model(TinyConfig(), &net_, transfer_.get(), &rng);
+  PretrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 8;
+  config.lr = 2e-3;
+  const PretrainStats stats = Pretrain(&model, corpus_, &traffic_, config);
+  ASSERT_EQ(stats.epoch_loss.size(), 4u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+}
+
+TEST_F(PretrainTest, MaskOnlyVariantTrains) {
+  common::Rng rng(2);
+  StartModel model(TinyConfig(), &net_, transfer_.get(), &rng);
+  PretrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.use_contrastive_task = false;
+  const PretrainStats stats = Pretrain(&model, corpus_, &traffic_, config);
+  EXPECT_LT(stats.epoch_mask_loss.back(), stats.epoch_mask_loss.front());
+  EXPECT_EQ(stats.epoch_contrastive_loss.back(), 0.0);
+}
+
+TEST_F(PretrainTest, ContrastiveOnlyVariantTrains) {
+  common::Rng rng(3);
+  StartModel model(TinyConfig(), &net_, transfer_.get(), &rng);
+  PretrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 8;
+  config.lr = 2e-3;
+  config.use_mask_task = false;
+  const PretrainStats stats = Pretrain(&model, corpus_, &traffic_, config);
+  EXPECT_LT(stats.epoch_contrastive_loss.back(),
+            stats.epoch_contrastive_loss.front());
+  EXPECT_EQ(stats.epoch_mask_loss.back(), 0.0);
+}
+
+TEST_F(PretrainTest, MaskedRecoveryBeatsChance) {
+  // After enough epochs of span-masked recovery, the model should predict
+  // masked roads far better than the 1/|V| chance level.
+  common::Rng rng(4);
+  StartConfig model_config = TinyConfig();
+  model_config.d = 32;
+  model_config.gat_layers = 2;
+  model_config.gat_heads = {4, 1};
+  model_config.encoder_layers = 2;
+  StartModel model(model_config, &net_, transfer_.get(), &rng);
+  PretrainConfig config;
+  config.epochs = 40;
+  config.batch_size = 8;
+  config.lr = 2e-3;
+  config.use_contrastive_task = false;
+  Pretrain(&model, corpus_, &traffic_, config);
+
+  model.SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  common::Rng mask_rng(5);
+  int64_t correct = 0, total = 0;
+  for (size_t i = 0; i < std::min<size_t>(30, corpus_.size()); ++i) {
+    data::View v = data::MakeView(corpus_[i]);
+    const auto info = data::ApplySpanMask(&v, 2, 0.15, &mask_rng);
+    if (info.positions.empty()) continue;
+    const data::Batch batch = data::MakeBatch({v});
+    const auto out = model.Encode(batch);
+    const auto logits =
+        model.MaskedLogits(out, info.positions, batch.max_len);
+    for (size_t k = 0; k < info.positions.size(); ++k) {
+      const float* row = logits.data() + k * net_.num_segments();
+      int64_t argmax = 0;
+      for (int64_t c = 1; c < net_.num_segments(); ++c) {
+        if (row[c] > row[argmax]) argmax = c;
+      }
+      correct += argmax == info.targets[k] ? 1 : 0;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0);
+  const double acc = static_cast<double>(correct) / static_cast<double>(total);
+  const double chance = 1.0 / static_cast<double>(net_.num_segments());
+  EXPECT_GT(acc, 5.0 * chance);
+}
+
+}  // namespace
+}  // namespace start::core

@@ -1,0 +1,87 @@
+#include "sim/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace start::sim {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D.
+std::vector<float> MakeBlobs(int64_t per_blob, common::Rng* rng,
+                             std::vector<int64_t>* labels) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  std::vector<float> data;
+  for (int b = 0; b < 3; ++b) {
+    for (int64_t i = 0; i < per_blob; ++i) {
+      data.push_back(static_cast<float>(centers[b][0] + rng->Normal(0, 0.5)));
+      data.push_back(static_cast<float>(centers[b][1] + rng->Normal(0, 0.5)));
+      labels->push_back(b);
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, SeparatesCleanBlobs) {
+  common::Rng rng(1);
+  std::vector<int64_t> labels;
+  const auto data = MakeBlobs(30, &rng, &labels);
+  const auto result = KMeans(data, 90, 2, 3, &rng);
+  const auto quality = EvaluateClusters(result.assignments, labels);
+  EXPECT_GT(quality.purity, 0.95);
+  EXPECT_GT(quality.nmi, 0.9);
+  EXPECT_LT(result.inertia / 90.0, 1.5);  // within-blob variance only
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  common::Rng rng(2);
+  std::vector<int64_t> labels;
+  const auto data = MakeBlobs(10, &rng, &labels);
+  const auto result = KMeans(data, 30, 2, 4, &rng);
+  ASSERT_EQ(result.assignments.size(), 30u);
+  for (const int64_t a : result.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+  EXPECT_EQ(result.centroids.size(), 8u);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  common::Rng rng(3);
+  std::vector<float> data = {0, 0, 5, 5, 9, 1};
+  const auto result = KMeans(data, 3, 2, 3, &rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, InertiaNonIncreasingWithMoreClusters) {
+  common::Rng rng(4);
+  std::vector<int64_t> labels;
+  const auto data = MakeBlobs(20, &rng, &labels);
+  double prev = 1e18;
+  for (const int64_t k : {1, 2, 3, 6}) {
+    common::Rng krng(5);
+    const auto result = KMeans(data, 60, 2, k, &krng);
+    EXPECT_LE(result.inertia, prev + 1e-6) << "k=" << k;
+    prev = result.inertia;
+  }
+}
+
+TEST(ClusterQualityTest, PerfectClusteringScoresOne) {
+  const std::vector<int64_t> labels = {0, 0, 1, 1, 2, 2};
+  // Cluster ids permuted relative to labels: still perfect.
+  const std::vector<int64_t> assignments = {2, 2, 0, 0, 1, 1};
+  const auto q = EvaluateClusters(assignments, labels);
+  EXPECT_DOUBLE_EQ(q.purity, 1.0);
+  EXPECT_NEAR(q.nmi, 1.0, 1e-9);
+}
+
+TEST(ClusterQualityTest, SingleClusterHasChancePurity) {
+  const std::vector<int64_t> labels = {0, 1, 2, 0, 1, 2};
+  const std::vector<int64_t> assignments(6, 0);
+  const auto q = EvaluateClusters(assignments, labels);
+  EXPECT_NEAR(q.purity, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(q.nmi, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace start::sim

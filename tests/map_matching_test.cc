@@ -1,0 +1,108 @@
+#include "traj/map_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/synthetic_city.h"
+#include "traj/traffic_model.h"
+#include "traj/trip_generator.h"
+
+namespace start::traj {
+namespace {
+
+class MapMatchingTest : public ::testing::Test {
+ protected:
+  MapMatchingTest()
+      : net_(roadnet::BuildSyntheticCity(
+            {.grid_width = 6, .grid_height = 6, .coord_jitter = 0.05})),
+        traffic_(&net_, {}) {}
+
+  Trajectory MakeTrip() {
+    TripGenerator::Config config;
+    config.num_drivers = 1;
+    TripGenerator gen(&traffic_, config);
+    return gen.GenerateTrip(0, 2, net_.num_segments() - 4, 10 * 3600);
+  }
+
+  roadnet::RoadNetwork net_;
+  TrafficModel traffic_;
+};
+
+TEST_F(MapMatchingTest, PointToSegmentDistance) {
+  roadnet::RoadSegment seg;
+  seg.x0 = 0;
+  seg.y0 = 0;
+  seg.x1 = 10;
+  seg.y1 = 0;
+  EXPECT_DOUBLE_EQ(HmmMapMatcher::PointToSegmentDistance(seg, 5, 3), 3.0);
+  EXPECT_DOUBLE_EQ(HmmMapMatcher::PointToSegmentDistance(seg, -4, 0), 4.0);
+  EXPECT_DOUBLE_EQ(HmmMapMatcher::PointToSegmentDistance(seg, 13, 4), 5.0);
+}
+
+TEST_F(MapMatchingTest, GpsSimulationFollowsTrajectory) {
+  const Trajectory trip = MakeTrip();
+  ASSERT_GT(trip.size(), 3);
+  common::Rng rng(1);
+  const GpsTrajectory gps = SimulateGps(net_, trip, 15.0, 0.0, &rng);
+  ASSERT_GT(gps.points.size(), 3u);
+  // Noise-free samples lie on (or very near) some trajectory segment.
+  for (const auto& p : gps.points) {
+    double best = 1e18;
+    for (const int64_t r : trip.roads) {
+      best = std::min(best, HmmMapMatcher::PointToSegmentDistance(
+                                net_.segment(r), p.x, p.y));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+  // Timestamps are increasing and within the trip window.
+  for (size_t i = 0; i + 1 < gps.points.size(); ++i) {
+    EXPECT_LT(gps.points[i].timestamp, gps.points[i + 1].timestamp);
+  }
+}
+
+TEST_F(MapMatchingTest, RecoversRouteFromLowNoiseGps) {
+  const Trajectory trip = MakeTrip();
+  ASSERT_GT(trip.size(), 3);
+  common::Rng rng(2);
+  const GpsTrajectory gps = SimulateGps(net_, trip, 10.0, 4.0, &rng);
+  HmmMapMatcher matcher(&net_, {});
+  const auto matched = matcher.Match(gps);
+  ASSERT_FALSE(matched.empty());
+  // Most matched roads should belong to the true route (midpoint sampling
+  // can skip very short segments).
+  int64_t on_route = 0;
+  for (const int64_t r : matched) {
+    if (std::find(trip.roads.begin(), trip.roads.end(), r) !=
+        trip.roads.end()) {
+      ++on_route;
+    }
+  }
+  EXPECT_GT(static_cast<double>(on_route) /
+                static_cast<double>(matched.size()),
+            0.7);
+}
+
+TEST_F(MapMatchingTest, MatchedSequenceHasNoImmediateRepeats) {
+  const Trajectory trip = MakeTrip();
+  common::Rng rng(3);
+  const GpsTrajectory gps = SimulateGps(net_, trip, 10.0, 6.0, &rng);
+  HmmMapMatcher matcher(&net_, {});
+  const auto matched = matcher.Match(gps);
+  for (size_t i = 0; i + 1 < matched.size(); ++i) {
+    EXPECT_NE(matched[i], matched[i + 1]);
+  }
+}
+
+TEST_F(MapMatchingTest, EmptyGpsGivesEmptyMatch) {
+  HmmMapMatcher matcher(&net_, {});
+  EXPECT_TRUE(matcher.Match(GpsTrajectory{}).empty());
+}
+
+TEST_F(MapMatchingTest, FarAwayPointFailsGracefully) {
+  HmmMapMatcher matcher(&net_, {});
+  GpsTrajectory gps;
+  gps.points.push_back({1e7, 1e7, 0});
+  EXPECT_TRUE(matcher.Match(gps).empty());
+}
+
+}  // namespace
+}  // namespace start::traj

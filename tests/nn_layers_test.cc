@@ -1,0 +1,222 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace start::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LinearTest, Shapes2dAnd3d) {
+  common::Rng rng(1);
+  Linear fc(8, 3, &rng);
+  const Tensor x2 = Tensor::Rand(Shape({5, 8}), &rng, -1, 1);
+  EXPECT_EQ(fc.Forward(x2).shape(), Shape({5, 3}));
+  const Tensor x3 = Tensor::Rand(Shape({2, 4, 8}), &rng, -1, 1);
+  EXPECT_EQ(fc.Forward(x3).shape(), Shape({2, 4, 3}));
+}
+
+TEST(LinearTest, NoBiasHasOneParameter) {
+  common::Rng rng(2);
+  Linear with_bias(4, 4, &rng, /*bias=*/true);
+  Linear without(4, 4, &rng, /*bias=*/false);
+  EXPECT_EQ(with_bias.Parameters().size(), 2u);
+  EXPECT_EQ(without.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, ZeroInputYieldsBias) {
+  common::Rng rng(3);
+  Linear fc(4, 2, &rng);
+  fc.Parameters()[1].data()[0] = 7.0f;  // bias[0]
+  const Tensor y = fc.Forward(Tensor::Zeros(Shape({1, 4})));
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 7.0f);
+}
+
+TEST(EmbeddingTest, LookupMatchesTableRows) {
+  common::Rng rng(4);
+  Embedding emb(10, 6, &rng);
+  const Tensor out = emb.Forward({3, 3, 7});
+  EXPECT_EQ(out.shape(), Shape({3, 6}));
+  for (int64_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(out.at({0, j}), emb.table().at({3, j}));
+    EXPECT_EQ(out.at({1, j}), emb.table().at({3, j}));
+    EXPECT_EQ(out.at({2, j}), emb.table().at({7, j}));
+  }
+}
+
+TEST(ModuleTest, NamedParametersAreQualified) {
+  common::Rng rng(5);
+  FeedForward ffn(8, 16, &rng);
+  const auto named = ffn.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc1.weight");
+  EXPECT_EQ(named[3].first, "fc2.bias");
+}
+
+TEST(ModuleTest, ParameterCountIsExact) {
+  common::Rng rng(6);
+  Linear fc(8, 3, &rng);
+  EXPECT_EQ(fc.ParameterCount(), 8 * 3 + 3);
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  common::Rng rng(7);
+  FeedForward a(4, 8, &rng);
+  FeedForward b(4, 8, &rng);
+  const std::string path = std::string(::testing::TempDir()) + "/ffn.sttn";
+  ASSERT_TRUE(a.Save(path).ok());
+  ASSERT_TRUE(b.Load(path).ok());
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].numel(); ++j) {
+      EXPECT_EQ(pa[i].data()[j], pb[i].data()[j]);
+    }
+  }
+}
+
+TEST(ModuleTest, LoadRejectsShapeMismatch) {
+  common::Rng rng(8);
+  Linear a(4, 4, &rng);
+  Linear b(4, 5, &rng);
+  const std::string path = std::string(::testing::TempDir()) + "/lin.sttn";
+  ASSERT_TRUE(a.Save(path).ok());
+  EXPECT_FALSE(b.Load(path).ok());
+}
+
+TEST(ModuleTest, ClipGradNormScalesDown) {
+  common::Rng rng(9);
+  Linear fc(4, 4, &rng);
+  auto params = fc.Parameters();
+  for (auto& p : params) {
+    p.ZeroGrad();
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      const_cast<float*>(p.grad())[i] = 10.0f;
+    }
+  }
+  const double before = ClipGradNorm(params, 1.0);
+  EXPECT_GT(before, 1.0);
+  double norm = 0.0;
+  for (const auto& p : params) {
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      norm += p.grad()[i] * p.grad()[i];
+    }
+  }
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+}
+
+TEST(LayerNormLayerTest, OutputShapeAndFinite) {
+  common::Rng rng(10);
+  LayerNormLayer ln(16);
+  const Tensor x = Tensor::Rand(Shape({3, 4, 16}), &rng, -5, 5);
+  const Tensor y = ln.Forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
+}
+
+TEST(PositionalEncodingTest, FirstRowAlternates) {
+  const Tensor pe = SinusoidalPositionalEncoding(4, 6);
+  // Position 0: sin(0)=0, cos(0)=1 alternating.
+  EXPECT_FLOAT_EQ(pe.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(pe.at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(pe.at({0, 2}), 0.0f);
+}
+
+TEST(PositionalEncodingTest, RowsDiffer) {
+  const Tensor pe = SinusoidalPositionalEncoding(8, 16);
+  double diff = 0.0;
+  for (int64_t j = 0; j < 16; ++j) {
+    diff += std::fabs(pe.at({1, j}) - pe.at({5, j}));
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(AttentionTest, OutputShape) {
+  common::Rng rng(11);
+  MultiHeadSelfAttention attn(16, 4, &rng, 0.0f);
+  attn.SetTraining(false);
+  const Tensor x = Tensor::Rand(Shape({2, 5, 16}), &rng, -1, 1);
+  EXPECT_EQ(attn.Forward(x, Tensor()).shape(), Shape({2, 5, 16}));
+}
+
+TEST(AttentionTest, PaddingBiasBlocksAttention) {
+  // With one valid token, every query must attend only to position 0, so the
+  // output at every position equals the output at position 0.
+  common::Rng rng(12);
+  MultiHeadSelfAttention attn(8, 2, &rng, 0.0f);
+  attn.SetTraining(false);
+  const Tensor x = Tensor::Rand(Shape({1, 4, 8}), &rng, -1, 1);
+  const Tensor bias = MakePaddingBias({1}, 4);
+  const Tensor y = attn.Forward(x, bias);
+  for (int64_t pos = 1; pos < 4; ++pos) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y.at({0, pos, j}), y.at({0, 0, j}), 1e-5);
+    }
+  }
+}
+
+TEST(AttentionTest, PaddingContentDoesNotLeak) {
+  // Changing the padded tail of the input must not change valid outputs.
+  common::Rng rng(13);
+  MultiHeadSelfAttention attn(8, 2, &rng, 0.0f);
+  attn.SetTraining(false);
+  std::vector<float> base(static_cast<size_t>(1 * 4 * 8));
+  common::Rng data_rng(14);
+  for (auto& v : base) v = static_cast<float>(data_rng.Uniform(-1, 1));
+  std::vector<float> altered = base;
+  for (int64_t i = 2 * 8; i < 4 * 8; ++i) altered[i] += 5.0f;  // pad tail
+  const Tensor bias = MakePaddingBias({2}, 4);
+  const Tensor y1 = attn.Forward(
+      Tensor::FromVector(Shape({1, 4, 8}), std::move(base)), bias);
+  const Tensor y2 = attn.Forward(
+      Tensor::FromVector(Shape({1, 4, 8}), std::move(altered)), bias);
+  for (int64_t pos = 0; pos < 2; ++pos) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y1.at({0, pos, j}), y2.at({0, pos, j}), 1e-5);
+    }
+  }
+}
+
+TEST(AttentionTest, ScoreBiasShiftsAttention) {
+  // A large positive bias toward key k should pull outputs toward value k.
+  common::Rng rng(15);
+  MultiHeadSelfAttention attn(8, 1, &rng, 0.0f);
+  attn.SetTraining(false);
+  const Tensor x = Tensor::Rand(Shape({1, 3, 8}), &rng, -1, 1);
+  std::vector<float> bias_data(9, 0.0f);
+  for (int64_t i = 0; i < 3; ++i) bias_data[static_cast<size_t>(i * 3 + 2)] = 50.0f;
+  const Tensor bias = Tensor::FromVector(Shape({1, 3, 3}), std::move(bias_data));
+  const Tensor y = attn.Forward(x, bias);
+  // All outputs should now be (near) identical: everything attends to key 2.
+  for (int64_t pos = 1; pos < 3; ++pos) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y.at({0, pos, j}), y.at({0, 0, j}), 1e-4);
+    }
+  }
+}
+
+TEST(TransformerEncoderLayerTest, ForwardShapeAndGradFlow) {
+  common::Rng rng(16);
+  TransformerEncoderLayer layer(16, 4, 16, &rng, 0.0f);
+  layer.SetTraining(false);
+  Tensor x = Tensor::Rand(Shape({2, 5, 16}), &rng, -1, 1);
+  x.set_requires_grad(true);
+  Tensor y = layer.Forward(x, Tensor());
+  EXPECT_EQ(y.shape(), Shape({2, 5, 16}));
+  Tensor loss = tensor::Mean(y);
+  loss.Backward();
+  double grad_norm = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) grad_norm += std::fabs(x.grad()[i]);
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace start::nn

@@ -1,0 +1,126 @@
+#include "nn/losses.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace start::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(NtXentTest, PerfectPairsGiveLowLoss) {
+  // Pairs identical, non-pairs orthogonal: loss should be near its floor.
+  std::vector<float> reps = {
+      1, 0, 0, 0,  //
+      1, 0, 0, 0,  //
+      0, 1, 0, 0,  //
+      0, 1, 0, 0,  //
+      0, 0, 1, 0,  //
+      0, 0, 1, 0,  //
+  };
+  const Tensor t = Tensor::FromVector(Shape({6, 4}), std::move(reps));
+  const float low = NtXentLoss(t, 0.05f).item();
+  // Shuffled pairing (partner orthogonal) must be much worse.
+  std::vector<float> bad = {
+      1, 0, 0, 0,  //
+      0, 1, 0, 0,  //
+      1, 0, 0, 0,  //
+      0, 0, 1, 0,  //
+      0, 1, 0, 0,  //
+      0, 0, 1, 0,  //
+  };
+  const Tensor tb = Tensor::FromVector(Shape({6, 4}), std::move(bad));
+  const float high = NtXentLoss(tb, 0.05f).item();
+  EXPECT_LT(low, 0.01f);
+  EXPECT_GT(high, 1.0f);
+}
+
+TEST(NtXentTest, TemperatureSharpens) {
+  common::Rng rng(1);
+  Tensor reps = Tensor::Rand(Shape({8, 16}), &rng, -1, 1);
+  // Make pairs moderately aligned.
+  for (int64_t i = 0; i < 8; i += 2) {
+    for (int64_t j = 0; j < 16; ++j) {
+      reps.data()[(i + 1) * 16 + j] =
+          reps.data()[i * 16 + j] + 0.1f * reps.data()[(i + 1) * 16 + j];
+    }
+  }
+  const float sharp = NtXentLoss(reps, 0.05f).item();
+  const float smooth = NtXentLoss(reps, 1.0f).item();
+  EXPECT_LT(sharp, smooth);  // aligned pairs benefit from low temperature
+}
+
+TEST(NtXentTest, TrainingAlignsPairs) {
+  // Optimising NT-Xent over free embeddings should pull pairs together.
+  common::Rng rng(2);
+  Tensor reps = Tensor::Rand(Shape({8, 8}), &rng, -1, 1);
+  reps.set_requires_grad(true);
+  AdamW opt({reps}, 0.05);
+  const float before = NtXentLoss(reps, 0.1f).item();
+  for (int step = 0; step < 100; ++step) {
+    opt.ZeroGrad();
+    Tensor loss = NtXentLoss(reps, 0.1f);
+    loss.Backward();
+    opt.Step();
+  }
+  const float after = NtXentLoss(reps, 0.1f).item();
+  EXPECT_LT(after, before * 0.5f);
+  // Check pair cosine similarity is now high.
+  const Tensor n = tensor::L2NormalizeRows(reps);
+  for (int64_t i = 0; i < 8; i += 2) {
+    double cos = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      cos += n.at({i, j}) * n.at({i + 1, j});
+    }
+    EXPECT_GT(cos, 0.8);
+  }
+}
+
+TEST(InfoNceTest, MatchedGlobalsScoreLowerLoss) {
+  // Globals aligned with their own locals -> lower loss than mismatched.
+  const int64_t b = 3, l = 2, d = 4;
+  std::vector<float> locals(static_cast<size_t>(b * l * d), 0.0f);
+  std::vector<float> globals(static_cast<size_t>(b * d), 0.0f);
+  for (int64_t s = 0; s < b; ++s) {
+    for (int64_t t = 0; t < l; ++t) {
+      locals[static_cast<size_t>((s * l + t) * d + s)] = 3.0f;
+    }
+    globals[static_cast<size_t>(s * d + s)] = 3.0f;
+  }
+  const Tensor loc = Tensor::FromVector(Shape({b, l, d}), locals);
+  const Tensor glob_good = Tensor::FromVector(Shape({b, d}), globals);
+  // Mismatched: rotate global rows by one.
+  std::vector<float> rotated(static_cast<size_t>(b * d), 0.0f);
+  for (int64_t s = 0; s < b; ++s) {
+    rotated[static_cast<size_t>(s * d + (s + 1) % b)] = 3.0f;
+  }
+  const Tensor glob_bad = Tensor::FromVector(Shape({b, d}), rotated);
+  const float good = InfoNceLoss(glob_good, loc, {2, 2, 2}).item();
+  const float bad = InfoNceLoss(glob_bad, loc, {2, 2, 2}).item();
+  EXPECT_LT(good, bad);
+}
+
+TEST(InfoNceTest, RespectsLengthsMask) {
+  common::Rng rng(3);
+  const Tensor glob = Tensor::Rand(Shape({2, 4}), &rng, -1, 1);
+  Tensor loc = Tensor::Rand(Shape({2, 3, 4}), &rng, -1, 1);
+  const float full = InfoNceLoss(glob, loc, {3, 3}).item();
+  // Perturb only the padded tail of sequence 0 under lengths {1, 3}.
+  Tensor loc2 = loc.Detach();
+  for (int64_t j = 0; j < 4; ++j) {
+    loc2.data()[1 * 4 + j] += 10.0f;
+    loc2.data()[2 * 4 + j] -= 10.0f;
+  }
+  const float masked_a = InfoNceLoss(glob, loc, {1, 3}).item();
+  const float masked_b = InfoNceLoss(glob, loc2, {1, 3}).item();
+  EXPECT_FLOAT_EQ(masked_a, masked_b);  // padded steps never scored
+  (void)full;
+}
+
+}  // namespace
+}  // namespace start::nn

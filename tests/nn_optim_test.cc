@@ -1,0 +1,131 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+#include "tensor/ops.h"
+
+namespace start::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Minimises f(w) = ||w - target||^2 and returns the final distance.
+template <typename MakeOpt>
+double MinimiseQuadratic(MakeOpt make_opt, int steps) {
+  Tensor w = Tensor::FromVector(Shape({3}), {5.0f, -3.0f, 2.0f});
+  w.set_requires_grad(true);
+  auto opt = make_opt(std::vector<Tensor>{w});
+  const std::vector<float> target = {1.0f, 1.0f, 1.0f};
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    Tensor loss = tensor::MseLoss(w, target);
+    loss.Backward();
+    opt->Step();
+  }
+  double dist = 0.0;
+  for (int64_t i = 0; i < 3; ++i) {
+    dist += std::fabs(w.data()[i] - target[static_cast<size_t>(i)]);
+  }
+  return dist;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  const double dist = MinimiseQuadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1);
+      },
+      200);
+  EXPECT_LT(dist, 1e-2);
+}
+
+TEST(SgdTest, MomentumConvergesFaster) {
+  const double plain = MinimiseQuadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05);
+      },
+      50);
+  const double momentum = MinimiseQuadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05, 0.9);
+      },
+      50);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(AdamWTest, ConvergesOnQuadratic) {
+  const double dist = MinimiseQuadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<AdamW>(std::move(p), 0.1, 0.9, 0.999, 1e-8,
+                                       0.0);
+      },
+      300);
+  EXPECT_LT(dist, 1e-2);
+}
+
+TEST(AdamWTest, WeightDecayShrinksWeights) {
+  // With zero gradient, AdamW's decoupled decay still shrinks the weights.
+  Tensor w = Tensor::FromVector(Shape({2}), {4.0f, -4.0f});
+  w.set_requires_grad(true);
+  w.ZeroGrad();
+  AdamW opt({w}, /*lr=*/0.1, 0.9, 0.999, 1e-8, /*weight_decay=*/0.5);
+  for (int i = 0; i < 10; ++i) opt.Step();
+  EXPECT_LT(std::fabs(w.data()[0]), 4.0f);
+  EXPECT_LT(std::fabs(w.data()[1]), 4.0f);
+}
+
+TEST(AdamWTest, TrainsLinearRegression) {
+  common::Rng rng(3);
+  Linear fc(2, 1, &rng);
+  AdamW opt(fc.Parameters(), 0.05);
+  // y = 2 x0 - x1 + 0.5
+  for (int step = 0; step < 400; ++step) {
+    const Tensor x = Tensor::Rand(Shape({16, 2}), &rng, -1, 1);
+    std::vector<float> y(16);
+    for (int64_t i = 0; i < 16; ++i) {
+      y[static_cast<size_t>(i)] =
+          2.0f * x.at({i, 0}) - x.at({i, 1}) + 0.5f;
+    }
+    opt.ZeroGrad();
+    Tensor loss = tensor::MseLoss(fc.Forward(x), y);
+    loss.Backward();
+    opt.Step();
+  }
+  const auto params = fc.Parameters();
+  EXPECT_NEAR(params[0].data()[0], 2.0f, 0.1);
+  EXPECT_NEAR(params[0].data()[1], -1.0f, 0.1);
+  EXPECT_NEAR(params[1].data()[0], 0.5f, 0.1);
+}
+
+TEST(ScheduleTest, WarmupRampsLinearly) {
+  const WarmupCosineSchedule s(1.0, 10, 100, 0.0);
+  EXPECT_NEAR(s.LrAt(0), 0.1, 1e-9);
+  EXPECT_NEAR(s.LrAt(4), 0.5, 1e-9);
+  EXPECT_NEAR(s.LrAt(9), 1.0, 1e-9);
+}
+
+TEST(ScheduleTest, CosineDecaysToMin) {
+  const WarmupCosineSchedule s(1.0, 10, 100, 0.05);
+  EXPECT_NEAR(s.LrAt(10), 1.0, 1e-9);
+  EXPECT_NEAR(s.LrAt(100), 0.05, 1e-6);
+  // Midpoint of the cosine is the average of base and min.
+  EXPECT_NEAR(s.LrAt(55), (1.0 + 0.05) / 2.0, 1e-6);
+}
+
+TEST(ScheduleTest, MonotoneDecreasingAfterWarmup) {
+  const WarmupCosineSchedule s(1.0, 5, 50, 0.0);
+  for (int64_t step = 5; step < 49; ++step) {
+    EXPECT_GE(s.LrAt(step), s.LrAt(step + 1));
+  }
+}
+
+TEST(ScheduleTest, NoWarmupStartsAtBase) {
+  const WarmupCosineSchedule s(0.5, 0, 10, 0.0);
+  EXPECT_NEAR(s.LrAt(0), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace start::nn

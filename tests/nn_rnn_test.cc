@@ -1,0 +1,102 @@
+#include "nn/rnn.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace start::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(GruCellTest, StepShape) {
+  common::Rng rng(1);
+  GruCell cell(4, 8, &rng);
+  const Tensor x = Tensor::Rand(Shape({3, 4}), &rng, -1, 1);
+  const Tensor h = Tensor::Zeros(Shape({3, 8}));
+  EXPECT_EQ(cell.Step(x, h).shape(), Shape({3, 8}));
+}
+
+TEST(GruCellTest, BoundedActivations) {
+  common::Rng rng(2);
+  GruCell cell(4, 8, &rng);
+  Tensor h = Tensor::Zeros(Shape({2, 8}));
+  for (int step = 0; step < 20; ++step) {
+    const Tensor x = Tensor::Rand(Shape({2, 4}), &rng, -3, 3);
+    h = cell.Step(x, h);
+  }
+  // GRU hidden state is a convex mix of tanh outputs: stays in (-1, 1).
+  for (int64_t i = 0; i < h.numel(); ++i) {
+    EXPECT_LT(std::fabs(h.data()[i]), 1.0f);
+  }
+}
+
+TEST(GruTest, PaddingFreezesState) {
+  common::Rng rng(3);
+  Gru gru(4, 8, &rng);
+  // Two sequences: one of length 2, one of length 4.
+  const Tensor x = Tensor::Rand(Shape({2, 4, 4}), &rng, -1, 1);
+  const auto out = gru.Forward(x, {2, 4});
+  EXPECT_EQ(out.outputs.shape(), Shape({2, 4, 8}));
+  // Sequence 0's states at t=2,3 equal its state at t=1 (frozen).
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(out.outputs.at({0, 2, j}), out.outputs.at({0, 1, j}));
+    EXPECT_EQ(out.outputs.at({0, 3, j}), out.outputs.at({0, 1, j}));
+    EXPECT_EQ(out.last_hidden.at({0, j}), out.outputs.at({0, 1, j}));
+  }
+}
+
+TEST(GruTest, LastHiddenMatchesFinalStep) {
+  common::Rng rng(4);
+  Gru gru(3, 6, &rng);
+  const Tensor x = Tensor::Rand(Shape({2, 5, 3}), &rng, -1, 1);
+  const auto out = gru.Forward(x, {5, 5});
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(out.last_hidden.at({b, j}), out.outputs.at({b, 4, j}));
+    }
+  }
+}
+
+TEST(GruTest, GradientsFlowToInput) {
+  common::Rng rng(5);
+  Gru gru(3, 4, &rng);
+  Tensor x = Tensor::Rand(Shape({1, 4, 3}), &rng, -1, 1);
+  x.set_requires_grad(true);
+  Tensor loss = tensor::Mean(gru.Forward(x, {4}).last_hidden);
+  loss.Backward();
+  double total = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) total += std::fabs(x.grad()[i]);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(LstmTest, ShapesAndPaddingFreeze) {
+  common::Rng rng(6);
+  Lstm lstm(4, 8, &rng);
+  const Tensor x = Tensor::Rand(Shape({2, 3, 4}), &rng, -1, 1);
+  const auto out = lstm.Forward(x, {1, 3});
+  EXPECT_EQ(out.outputs.shape(), Shape({2, 3, 8}));
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(out.outputs.at({0, 2, j}), out.outputs.at({0, 0, j}));
+  }
+}
+
+TEST(LstmTest, DifferentInputsGiveDifferentStates) {
+  common::Rng rng(7);
+  Lstm lstm(4, 8, &rng);
+  const Tensor a = Tensor::Rand(Shape({1, 3, 4}), &rng, -1, 1);
+  const Tensor b = Tensor::Rand(Shape({1, 3, 4}), &rng, -1, 1);
+  const auto ha = lstm.Forward(a, {3}).last_hidden;
+  const auto hb = lstm.Forward(b, {3}).last_hidden;
+  double diff = 0.0;
+  for (int64_t i = 0; i < ha.numel(); ++i) {
+    diff += std::fabs(ha.data()[i] - hb.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4);
+}
+
+}  // namespace
+}  // namespace start::nn

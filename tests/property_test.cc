@@ -1,0 +1,279 @@
+// Cross-module property tests: parameterised sweeps over seeds and
+// configurations checking invariants that must hold for *any* input, not
+// just hand-picked cases.
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
+
+#include "core/start_model.h"
+#include "data/augmentation.h"
+#include "data/batch.h"
+#include "data/span_mask.h"
+#include "eval/metrics.h"
+#include "roadnet/shortest_path.h"
+#include "roadnet/synthetic_city.h"
+#include "tensor/ops.h"
+#include "traj/trip_generator.h"
+
+namespace start {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Augmentation invariants over random seeds (Sec. III-C2).
+// ---------------------------------------------------------------------------
+
+class AugmentationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  AugmentationPropertyTest()
+      : net_(roadnet::BuildSyntheticCity(
+            {.grid_width = 6, .grid_height = 6})),
+        traffic_(&net_, {}) {}
+
+  roadnet::RoadNetwork net_;
+  traj::TrafficModel traffic_;
+};
+
+TEST_P(AugmentationPropertyTest, InvariantsHold) {
+  const auto [seed, kind_idx] = GetParam();
+  const auto kind = static_cast<data::AugmentationKind>(kind_idx);
+  common::Rng rng(static_cast<uint64_t>(seed) * 977 + 13);
+  traj::TripGenerator::Config config;
+  config.num_drivers = 2;
+  config.seed = static_cast<uint64_t>(seed) + 500;
+  traj::TripGenerator gen(&traffic_, config);
+  const traj::Trajectory t = gen.GenerateTrip(
+      0, rng.UniformInt(net_.num_segments()),
+      rng.UniformInt(net_.num_segments()), 9 * 3600);
+  if (t.size() < 4) GTEST_SKIP() << "degenerate trip";
+
+  const data::View v = data::Augment(t, kind, {}, &traffic_, &rng);
+  // Universal invariants.
+  ASSERT_GT(v.size(), 0);
+  ASSERT_EQ(v.roads.size(), v.times.size());
+  ASSERT_EQ(v.roads.size(), v.minute_idx.size());
+  for (int64_t i = 0; i < v.size(); ++i) {
+    const int64_t road = v.roads[static_cast<size_t>(i)];
+    EXPECT_TRUE(road == data::kMaskRoad ||
+                (road >= 0 && road < net_.num_segments()));
+    EXPECT_GE(v.minute_idx[static_cast<size_t>(i)], 0);
+    EXPECT_LE(v.minute_idx[static_cast<size_t>(i)], 1440);
+    EXPECT_GE(v.dow_idx[static_cast<size_t>(i)], 0);
+    EXPECT_LE(v.dow_idx[static_cast<size_t>(i)], 7);
+  }
+  // Times non-decreasing for every strategy (strictly increasing except at
+  // masked positions which keep raw times).
+  for (int64_t i = 0; i + 1 < v.size(); ++i) {
+    EXPECT_LE(v.times[static_cast<size_t>(i)],
+              v.times[static_cast<size_t>(i + 1)]);
+  }
+  // Kind-specific invariants.
+  switch (kind) {
+    case data::AugmentationKind::kTrim:
+      EXPECT_LT(v.size(), t.size());
+      break;
+    case data::AugmentationKind::kTemporalShift:
+    case data::AugmentationKind::kRoadMask:
+    case data::AugmentationKind::kDropout:
+      EXPECT_EQ(v.size(), t.size());
+      break;
+  }
+  if (kind == data::AugmentationKind::kDropout) {
+    EXPECT_TRUE(v.embedding_dropout);
+  } else {
+    EXPECT_FALSE(v.embedding_dropout);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndKinds, AugmentationPropertyTest,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 4)));
+
+// ---------------------------------------------------------------------------
+// Span masking over random seeds / ratios.
+// ---------------------------------------------------------------------------
+
+class SpanMaskPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpanMaskPropertyTest, BudgetAndConsistency) {
+  const int seed = GetParam();
+  common::Rng rng(static_cast<uint64_t>(seed) * 31 + 7);
+  const int64_t n = 6 + rng.UniformInt(60);
+  data::View v;
+  for (int64_t i = 0; i < n; ++i) {
+    v.roads.push_back(i % 17);
+    v.minute_idx.push_back(1 + i % 1440);
+    v.dow_idx.push_back(1 + i % 7);
+    v.times.push_back(static_cast<double>(100 * i));
+  }
+  const double ratio = rng.Uniform(0.1, 0.4);
+  const auto info = data::ApplySpanMask(&v, 2, ratio, &rng);
+  // Coverage at least the requested budget (ceil), no duplicates.
+  EXPECT_GE(static_cast<double>(info.positions.size()),
+            std::ceil(ratio * static_cast<double>(n)) - 1e-9);
+  const std::set<int64_t> unique(info.positions.begin(),
+                                 info.positions.end());
+  EXPECT_EQ(unique.size(), info.positions.size());
+  // Every reported position is masked, and every masked position reported.
+  int64_t masked_count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (v.roads[static_cast<size_t>(i)] == data::kMaskRoad) ++masked_count;
+  }
+  EXPECT_EQ(masked_count, static_cast<int64_t>(info.positions.size()));
+  for (size_t k = 0; k < info.positions.size(); ++k) {
+    EXPECT_EQ(info.targets[k], info.positions[k] % 17);  // original road ids
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanMaskPropertyTest,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Yen's algorithm vs exhaustive enumeration on a small graph.
+// ---------------------------------------------------------------------------
+
+TEST(KspPropertyTest, MatchesExhaustiveEnumeration) {
+  // 5-node graph with several simple paths 0 -> 4.
+  roadnet::RoadNetwork net;
+  for (int i = 0; i < 5; ++i) {
+    roadnet::RoadSegment s;
+    s.length_m = 100;
+    s.maxspeed_mps = 10;
+    net.AddSegment(s);
+  }
+  const std::vector<std::pair<int64_t, int64_t>> edges = {
+      {0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {1, 4}};
+  for (const auto& [a, b] : edges) net.AddEdge(a, b);
+  net.Finalize();
+  auto weight = [](int64_t v) { return static_cast<double>(v) + 1.0; };
+  // Exhaustive DFS enumeration of simple paths.
+  std::vector<std::pair<double, std::vector<int64_t>>> all_paths;
+  std::vector<int64_t> stack{0};
+  std::function<void()> dfs = [&] {
+    const int64_t cur = stack.back();
+    if (cur == 4) {
+      double cost = 0;
+      for (const int64_t v : stack) cost += weight(v);
+      all_paths.emplace_back(cost, stack);
+      return;
+    }
+    for (const int64_t nxt : net.OutNeighbors(cur)) {
+      if (std::find(stack.begin(), stack.end(), nxt) != stack.end()) continue;
+      stack.push_back(nxt);
+      dfs();
+      stack.pop_back();
+    }
+  };
+  dfs();
+  std::sort(all_paths.begin(), all_paths.end());
+  const auto yen = roadnet::KShortestPaths(net, 0, 4, 100, weight);
+  ASSERT_EQ(yen.size(), all_paths.size());
+  for (size_t i = 0; i < yen.size(); ++i) {
+    EXPECT_NEAR(yen[i].cost, all_paths[i].first, 1e-9) << "rank " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metric properties.
+// ---------------------------------------------------------------------------
+
+TEST(MetricPropertyTest, AucInvariantToMonotoneScoreTransform) {
+  common::Rng rng(5);
+  std::vector<int64_t> labels;
+  std::vector<double> scores, transformed;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+    const double s = rng.Uniform();
+    scores.push_back(s);
+    transformed.push_back(std::exp(3.0 * s) - 0.5);  // strictly increasing
+  }
+  EXPECT_NEAR(eval::BinaryAuc(labels, scores),
+              eval::BinaryAuc(labels, transformed), 1e-12);
+}
+
+TEST(MetricPropertyTest, RecallAtKMonotoneInK) {
+  common::Rng rng(6);
+  const int64_t n = 50, c = 8;
+  std::vector<int64_t> labels;
+  std::vector<double> scores;
+  for (int64_t i = 0; i < n; ++i) {
+    labels.push_back(rng.UniformInt(c));
+    for (int64_t j = 0; j < c; ++j) scores.push_back(rng.Uniform());
+  }
+  double prev = 0.0;
+  for (int64_t k = 1; k <= c; ++k) {
+    const double r = eval::RecallAtK(labels, scores, c, k);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // Recall@C is always 1
+}
+
+// ---------------------------------------------------------------------------
+// Encoder determinism in eval mode.
+// ---------------------------------------------------------------------------
+
+TEST(EncoderPropertyTest, EvalModeIsDeterministic) {
+  const auto net = roadnet::BuildSyntheticCity(
+      {.grid_width = 5, .grid_height = 5});
+  traj::TrafficModel traffic(&net, {});
+  traj::TripGenerator::Config gen_config;
+  gen_config.num_drivers = 2;
+  traj::TripGenerator gen(&traffic, gen_config);
+  const auto trip = gen.GenerateTrip(0, 1, net.num_segments() - 2, 9 * 3600);
+  ASSERT_GT(trip.size(), 3);
+
+  core::StartConfig config;
+  config.d = 16;
+  config.gat_layers = 1;
+  config.gat_heads = {2};
+  config.encoder_layers = 1;
+  config.encoder_heads = 2;
+  config.max_len = 64;
+  common::Rng rng(9);
+  core::StartModel model(config, &net, nullptr, &rng);
+  model.SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  const auto batch = data::MakeBatch({data::MakeView(trip)});
+  const auto a = model.Encode(batch);
+  const auto b = model.Encode(batch);
+  for (int64_t j = 0; j < 16; ++j) {
+    EXPECT_EQ(a.cls.at({0, j}), b.cls.at({0, j}));
+  }
+}
+
+// Dropout augmentation gives *different* encodings in training mode — the
+// SimCSE mechanism the Dropout strategy relies on.
+TEST(EncoderPropertyTest, TrainingDropoutDiversifiesViews) {
+  const auto net = roadnet::BuildSyntheticCity(
+      {.grid_width = 5, .grid_height = 5});
+  traj::TrafficModel traffic(&net, {});
+  traj::TripGenerator::Config gen_config;
+  gen_config.num_drivers = 2;
+  traj::TripGenerator gen(&traffic, gen_config);
+  const auto trip = gen.GenerateTrip(0, 1, net.num_segments() - 2, 9 * 3600);
+  ASSERT_GT(trip.size(), 3);
+  core::StartConfig config;
+  config.d = 16;
+  config.gat_layers = 1;
+  config.gat_heads = {2};
+  config.encoder_layers = 1;
+  config.encoder_heads = 2;
+  config.max_len = 64;
+  config.dropout = 0.2f;
+  common::Rng rng(10);
+  core::StartModel model(config, &net, nullptr, &rng);
+  model.SetTraining(true);
+  common::SeedGlobalRng(123);
+  const auto batch = data::MakeBatch({data::MakeView(trip)});
+  const auto a = model.Encode(batch);
+  const auto b = model.Encode(batch);
+  double diff = 0.0;
+  for (int64_t j = 0; j < 16; ++j) {
+    diff += std::fabs(a.cls.at({0, j}) - b.cls.at({0, j}));
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+}  // namespace
+}  // namespace start

@@ -1,0 +1,152 @@
+#include "roadnet/road_network.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "roadnet/synthetic_city.h"
+
+namespace start::roadnet {
+namespace {
+
+RoadNetwork MakeTriangle() {
+  // 0 -> 1 -> 2 -> 0 plus 0 -> 2.
+  RoadNetwork net;
+  for (int i = 0; i < 3; ++i) {
+    RoadSegment s;
+    s.length_m = 100.0 + i;
+    s.maxspeed_mps = 10.0;
+    net.AddSegment(s);
+  }
+  net.AddEdge(0, 1);
+  net.AddEdge(1, 2);
+  net.AddEdge(2, 0);
+  net.AddEdge(0, 2);
+  net.Finalize();
+  return net;
+}
+
+TEST(RoadNetworkTest, DegreesAndNeighbors) {
+  const RoadNetwork net = MakeTriangle();
+  EXPECT_EQ(net.num_segments(), 3);
+  EXPECT_EQ(net.num_edges(), 4);
+  EXPECT_EQ(net.OutDegree(0), 2);
+  EXPECT_EQ(net.InDegree(2), 2);
+  const auto out0 = net.OutNeighbors(0);
+  EXPECT_EQ(std::set<int64_t>(out0.begin(), out0.end()),
+            (std::set<int64_t>{1, 2}));
+  const auto in0 = net.InNeighbors(0);
+  EXPECT_EQ(std::set<int64_t>(in0.begin(), in0.end()),
+            (std::set<int64_t>{2}));
+}
+
+TEST(RoadNetworkTest, HasEdge) {
+  const RoadNetwork net = MakeTriangle();
+  EXPECT_TRUE(net.HasEdge(0, 1));
+  EXPECT_TRUE(net.HasEdge(0, 2));
+  EXPECT_FALSE(net.HasEdge(1, 0));
+}
+
+TEST(RoadNetworkTest, DuplicateEdgesCollapse) {
+  RoadNetwork net;
+  net.AddSegment({});
+  net.AddSegment({});
+  net.AddEdge(0, 1);
+  net.AddEdge(0, 1);
+  net.AddEdge(0, 1);
+  net.Finalize();
+  EXPECT_EQ(net.num_edges(), 1);
+}
+
+TEST(RoadNetworkTest, FreeFlowTravelTime) {
+  const RoadNetwork net = MakeTriangle();
+  EXPECT_DOUBLE_EQ(net.FreeFlowTravelTime(0), 10.0);
+}
+
+TEST(RoadNetworkTest, FeatureMatrixShapeAndOneHot) {
+  const RoadNetwork net = MakeTriangle();
+  const auto f = net.BuildFeatureMatrix();
+  ASSERT_EQ(static_cast<int64_t>(f.size()),
+            net.num_segments() * RoadNetwork::FeatureDim());
+  // Road type one-hot: default kResidential = index 4.
+  EXPECT_EQ(f[4], 1.0f);
+  EXPECT_EQ(f[0], 0.0f);
+}
+
+TEST(RoadNetworkTest, FeatureMatrixNumericColumnsAreStandardised) {
+  const SyntheticCityConfig config{.grid_width = 6, .grid_height = 6};
+  const RoadNetwork net = BuildSyntheticCity(config);
+  const auto f = net.BuildFeatureMatrix();
+  const int64_t fd = RoadNetwork::FeatureDim();
+  // Each z-scored column has ~zero mean.
+  for (int64_t col = kNumRoadTypes; col < fd; ++col) {
+    double mean = 0.0;
+    for (int64_t v = 0; v < net.num_segments(); ++v) {
+      mean += f[static_cast<size_t>(v * fd + col)];
+    }
+    mean /= static_cast<double>(net.num_segments());
+    EXPECT_NEAR(mean, 0.0, 1e-3) << "column " << col;
+  }
+}
+
+TEST(SyntheticCityTest, SegmentsComeInDirectedPairs) {
+  const SyntheticCityConfig config{.grid_width = 5, .grid_height = 5};
+  const RoadNetwork net = BuildSyntheticCity(config);
+  EXPECT_GT(net.num_segments(), 0);
+  EXPECT_EQ(net.num_segments() % 2, 0);  // every road has a reverse twin
+}
+
+TEST(SyntheticCityTest, EveryRoadHasContinuation) {
+  const SyntheticCityConfig config{.grid_width = 6, .grid_height = 4};
+  const RoadNetwork net = BuildSyntheticCity(config);
+  for (int64_t v = 0; v < net.num_segments(); ++v) {
+    EXPECT_GT(net.OutDegree(v), 0) << "dead-end segment " << v;
+  }
+}
+
+TEST(SyntheticCityTest, ContainsArterialHierarchy) {
+  const SyntheticCityConfig config{.grid_width = 9, .grid_height = 9,
+                                   .arterial_every = 4};
+  const RoadNetwork net = BuildSyntheticCity(config);
+  int64_t primary = 0, residential = 0;
+  for (int64_t v = 0; v < net.num_segments(); ++v) {
+    if (net.segment(v).type == RoadType::kPrimary) ++primary;
+    if (net.segment(v).type == RoadType::kResidential) ++residential;
+  }
+  EXPECT_GT(primary, 0);
+  EXPECT_GT(residential, 0);
+  EXPECT_GT(residential + primary, net.num_segments() / 4);
+}
+
+TEST(SyntheticCityTest, DeterministicForSeed) {
+  const SyntheticCityConfig config{.grid_width = 5, .grid_height = 5,
+                                   .seed = 77};
+  const RoadNetwork a = BuildSyntheticCity(config);
+  const RoadNetwork b = BuildSyntheticCity(config);
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int64_t v = 0; v < a.num_segments(); ++v) {
+    EXPECT_DOUBLE_EQ(a.segment(v).length_m, b.segment(v).length_m);
+  }
+}
+
+TEST(TransferProbabilityTest, RowsNormalisedOverObservedTransitions) {
+  const RoadNetwork net = MakeTriangle();
+  const std::vector<std::vector<int64_t>> seqs = {
+      {0, 1, 2}, {0, 2}, {0, 1}, {1, 2, 0}};
+  const auto tp = TransferProbability::FromTrajectories(net, seqs);
+  // count(0) = 4 appearances; 0->1 twice, 0->2 once.
+  EXPECT_EQ(tp.VisitCount(0), 4);
+  EXPECT_DOUBLE_EQ(tp.Prob(0, 1), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(tp.Prob(0, 2), 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(tp.Prob(2, 1), 0.0);
+}
+
+TEST(TransferProbabilityTest, UnvisitedRoadHasZeroProb) {
+  const RoadNetwork net = MakeTriangle();
+  const auto tp = TransferProbability::FromTrajectories(net, {{0, 1}});
+  EXPECT_EQ(tp.VisitCount(2), 0);
+  EXPECT_DOUBLE_EQ(tp.Prob(2, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace start::roadnet

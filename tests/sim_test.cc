@@ -1,0 +1,144 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/search.h"
+#include "sim/similarity.h"
+
+namespace start::sim {
+namespace {
+
+PointSeq Line(double y, int n, double step = 1.0) {
+  PointSeq seq;
+  for (int i = 0; i < n; ++i) seq.emplace_back(i * step, y);
+  return seq;
+}
+
+TEST(SimilarityTest, IdenticalSequencesHaveZeroDistance) {
+  const PointSeq a = Line(0, 5);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, a, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, a, 0.5), 0.0);
+}
+
+TEST(SimilarityTest, SymmetricMeasures) {
+  const PointSeq a = Line(0, 5);
+  const PointSeq b = Line(2, 7);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), FrechetDistance(b, a));
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 0.5), LcssDistance(b, a, 0.5));
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 0.5), EdrDistance(b, a, 0.5));
+}
+
+TEST(SimilarityTest, DtwParallelLines) {
+  // Equal-length parallel lines at distance 2: every matched pair costs 2.
+  const PointSeq a = Line(0, 4);
+  const PointSeq b = Line(2, 4);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 8.0);
+}
+
+TEST(SimilarityTest, DtwHandlesTimeWarp) {
+  // The same path sampled at double rate should have near-zero DTW distance.
+  const PointSeq a = Line(0, 5, 2.0);        // x = 0,2,4,6,8
+  const PointSeq b = Line(0, 9, 1.0);        // x = 0..8
+  EXPECT_LT(DtwDistance(a, b), 4.1);         // only off-by-one matches cost
+  EXPECT_GT(DtwDistance(a, Line(5, 9, 1.0)), DtwDistance(a, b));
+}
+
+TEST(SimilarityTest, FrechetIsMaxLeash) {
+  const PointSeq a = Line(0, 4);
+  const PointSeq b = Line(3, 4);
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), 3.0);
+}
+
+TEST(SimilarityTest, LcssCountsMatchesWithinEps) {
+  PointSeq a = Line(0, 4);
+  PointSeq b = Line(0, 4);
+  b[1].second = 10.0;  // one point moved far away
+  // 3 of 4 points match -> distance 1 - 3/4.
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 0.5), 0.25);
+}
+
+TEST(SimilarityTest, EdrCountsEdits) {
+  PointSeq a = Line(0, 4);
+  PointSeq b = Line(0, 5);
+  // One extra point: one insertion over max length 5.
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 0.5), 1.0 / 5.0);
+}
+
+TEST(SimilarityTest, EmbeddingDistanceIsSquaredEuclidean) {
+  const float a[3] = {1, 2, 3};
+  const float b[3] = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(EmbeddingDistance(a, b, 3), 14.0);
+}
+
+TEST(SearchTest, MostSimilarFindsExactDuplicates) {
+  // Database row i == query i exactly -> MR 1, HR@1 = 1.
+  const int64_t nq = 4, ndb = 20, d = 8;
+  std::vector<float> db(ndb * d);
+  common::Rng rng(1);
+  for (auto& v : db) v = static_cast<float>(rng.Uniform(-1, 1));
+  std::vector<float> queries(nq * d);
+  std::vector<int64_t> gt(nq);
+  for (int64_t q = 0; q < nq; ++q) {
+    const int64_t target = q * 3;
+    gt[q] = target;
+    std::copy(db.begin() + target * d, db.begin() + (target + 1) * d,
+              queries.begin() + q * d);
+  }
+  const RankMetrics m =
+      MostSimilarSearchEmbeddings(queries, nq, db, ndb, d, gt);
+  EXPECT_DOUBLE_EQ(m.mean_rank, 1.0);
+  EXPECT_DOUBLE_EQ(m.hr_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(m.hr_at_5, 1.0);
+}
+
+TEST(SearchTest, MostSimilarRanksNoisyTruth) {
+  // The truth is the query plus small noise; a few decoys are closer copies
+  // of other rows, so MR stays small but HR@1 may drop.
+  const int64_t d = 4;
+  std::vector<float> db = {
+      0, 0, 0, 0,      // decoy
+      5, 5, 5, 5,      // truth (noisy copy of query below)
+      9, 9, 9, 9,      // decoy
+      5.2f, 5, 5, 5,   // close decoy
+  };
+  std::vector<float> query = {5.1f, 5, 5, 5};
+  const RankMetrics m = MostSimilarSearchEmbeddings(query, 1, db, 4, d, {1});
+  EXPECT_LE(m.mean_rank, 2.0);
+  EXPECT_DOUBLE_EQ(m.hr_at_5, 1.0);
+}
+
+TEST(SearchTest, TopKReturnsAscendingDistances) {
+  std::vector<double> dist = {5, 1, 3, 2, 4};
+  const auto top = TopK(5, 3, [&](int64_t i) { return dist[i]; });
+  EXPECT_EQ(top, (std::vector<int64_t>{1, 3, 2}));
+}
+
+TEST(SearchTest, KnnPrecisionPerfectWhenQueriesUnchanged) {
+  const int64_t nq = 3, ndb = 30, d = 6;
+  common::Rng rng(2);
+  std::vector<float> db(ndb * d), q(nq * d);
+  for (auto& v : db) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto& v : q) v = static_cast<float>(rng.Uniform(-1, 1));
+  EXPECT_DOUBLE_EQ(KnnPrecision(q, q, nq, db, ndb, d, 5), 1.0);
+}
+
+TEST(SearchTest, KnnPrecisionDegradesWithPerturbation) {
+  const int64_t nq = 5, ndb = 50, d = 6;
+  common::Rng rng(3);
+  std::vector<float> db(ndb * d), q(nq * d);
+  for (auto& v : db) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto& v : q) v = static_cast<float>(rng.Uniform(-1, 1));
+  std::vector<float> small = q, large = q;
+  for (auto& v : small) v += static_cast<float>(rng.Uniform(-0.05, 0.05));
+  for (auto& v : large) v += static_cast<float>(rng.Uniform(-2, 2));
+  const double p_small = KnnPrecision(q, small, nq, db, ndb, d, 5);
+  const double p_large = KnnPrecision(q, large, nq, db, ndb, d, 5);
+  EXPECT_GE(p_small, p_large);
+  EXPECT_GT(p_small, 0.5);
+}
+
+}  // namespace
+}  // namespace start::sim

@@ -1,0 +1,63 @@
+#include "tensor/serialize.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace start::tensor {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesDataAndShapes) {
+  common::Rng rng(1);
+  std::map<std::string, Tensor> tensors;
+  tensors.emplace("a", Tensor::Rand(Shape({3, 4}), &rng, -1, 1));
+  tensors.emplace("b.weight", Tensor::Rand(Shape({7}), &rng, -1, 1));
+  tensors.emplace("c.bias", Tensor::Rand(Shape({2, 2, 2}), &rng, -1, 1));
+  const std::string path = TempPath("roundtrip.sttn");
+  ASSERT_TRUE(SaveTensors(path, tensors).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  for (const auto& [name, t] : tensors) {
+    const auto it = loaded->find(name);
+    ASSERT_NE(it, loaded->end()) << name;
+    ASSERT_EQ(it->second.shape(), t.shape());
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      EXPECT_EQ(it->second.data()[i], t.data()[i]);
+    }
+  }
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  const auto result = LoadTensors("/nonexistent/path/x.sttn");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kIOError);
+}
+
+TEST(SerializeTest, CorruptMagicIsInvalidArgument) {
+  const std::string path = TempPath("corrupt.sttn");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("JUNKJUNKJUNKJUNKJUNK", 1, 20, f);
+  std::fclose(f);
+  const auto result = LoadTensors(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, EmptyMapRoundTrips) {
+  const std::string path = TempPath("empty.sttn");
+  ASSERT_TRUE(SaveTensors(path, {}).ok());
+  const auto result = LoadTensors(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace start::tensor

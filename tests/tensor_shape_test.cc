@@ -1,0 +1,71 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace start::tensor {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  const Shape s({2, 3, 4});
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+}
+
+TEST(ShapeTest, NegativeIndexing) {
+  const Shape s({2, 3, 4});
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-2), 3);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(ShapeTest, EmptyShapeIsScalarLike) {
+  const Shape s;
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, BroadcastSameShape) {
+  EXPECT_EQ(BroadcastShapes(Shape({4, 5}), Shape({4, 5})), Shape({4, 5}));
+}
+
+TEST(ShapeTest, BroadcastTrailingVector) {
+  EXPECT_EQ(BroadcastShapes(Shape({4, 5}), Shape({5})), Shape({4, 5}));
+}
+
+TEST(ShapeTest, BroadcastColumn) {
+  EXPECT_EQ(BroadcastShapes(Shape({4, 1}), Shape({1, 5})), Shape({4, 5}));
+}
+
+TEST(ShapeTest, BroadcastScalar) {
+  EXPECT_EQ(BroadcastShapes(Shape({3, 2, 4}), Shape({1})),
+            Shape({3, 2, 4}));
+}
+
+TEST(ShapeTest, Broadcast3dWith2d) {
+  EXPECT_EQ(BroadcastShapes(Shape({7, 4, 5}), Shape({4, 5})),
+            Shape({7, 4, 5}));
+}
+
+using ShapeDeath = ShapeTest_BasicProperties_Test;
+
+TEST(ShapeDeathTest, IncompatibleBroadcastAborts) {
+  EXPECT_DEATH(BroadcastShapes(Shape({3, 4}), Shape({3, 5})),
+               "not broadcastable");
+}
+
+TEST(ShapeDeathTest, OutOfRangeDimAborts) {
+  const Shape s({2, 3});
+  EXPECT_DEATH(s.dim(2), "out of range");
+}
+
+}  // namespace
+}  // namespace start::tensor

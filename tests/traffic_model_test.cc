@@ -1,0 +1,101 @@
+#include "traj/traffic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/synthetic_city.h"
+
+namespace start::traj {
+namespace {
+
+class TrafficModelTest : public ::testing::Test {
+ protected:
+  TrafficModelTest()
+      : net_(roadnet::BuildSyntheticCity(
+            {.grid_width = 6, .grid_height = 6})),
+        model_(&net_, {}) {}
+
+  roadnet::RoadNetwork net_;
+  TrafficModel model_;
+};
+
+TEST_F(TrafficModelTest, TimeHelpers) {
+  EXPECT_EQ(MinuteIndex(0), 1);
+  EXPECT_EQ(MinuteIndex(59), 1);
+  EXPECT_EQ(MinuteIndex(60), 2);
+  EXPECT_EQ(MinuteIndex(kSecondsPerDay - 1), 1440);
+  EXPECT_EQ(DayOfWeekIndex(0), 1);                       // Monday
+  EXPECT_EQ(DayOfWeekIndex(5 * kSecondsPerDay), 6);      // Saturday
+  EXPECT_TRUE(IsWeekend(5 * kSecondsPerDay));
+  EXPECT_FALSE(IsWeekend(4 * kSecondsPerDay));
+  EXPECT_DOUBLE_EQ(HourOfDay(kSecondsPerDay + 3 * 3600), 3.0);
+}
+
+TEST_F(TrafficModelTest, RushHourSlowerThanNight) {
+  const int64_t rush = 8 * 3600;           // Monday 08:00
+  const int64_t night = 3 * 3600;          // Monday 03:00
+  for (int64_t v = 0; v < net_.num_segments(); v += 7) {
+    EXPECT_LT(model_.SpeedFactor(v, rush), model_.SpeedFactor(v, night));
+    EXPECT_GT(model_.ExpectedTravelTime(v, rush),
+              model_.ExpectedTravelTime(v, night));
+  }
+}
+
+TEST_F(TrafficModelTest, WeekendFlatterThanWeekday) {
+  const int64_t mon8 = 8 * 3600;
+  const int64_t sat8 = 5 * kSecondsPerDay + 8 * 3600;
+  EXPECT_GT(model_.RushIntensity(mon8), model_.RushIntensity(sat8));
+}
+
+TEST_F(TrafficModelTest, TwoRushPeaksOnWeekdays) {
+  const double morning = model_.RushIntensity(8 * 3600);
+  const double evening = model_.RushIntensity(18 * 3600);
+  const double midday = model_.RushIntensity(12 * 3600);
+  const double night = model_.RushIntensity(2 * 3600);
+  EXPECT_GT(morning, midday);
+  EXPECT_GT(evening, midday);
+  EXPECT_GT(midday, night - 1e-9);
+}
+
+TEST_F(TrafficModelTest, ArterialsCongestMore) {
+  double primary = 0.0, residential = 0.0;
+  int64_t np = 0, nr = 0;
+  for (int64_t v = 0; v < net_.num_segments(); ++v) {
+    if (net_.segment(v).type == roadnet::RoadType::kPrimary) {
+      primary += model_.CongestionPropensity(v);
+      ++np;
+    } else if (net_.segment(v).type == roadnet::RoadType::kResidential) {
+      residential += model_.CongestionPropensity(v);
+      ++nr;
+    }
+  }
+  ASSERT_GT(np, 0);
+  ASSERT_GT(nr, 0);
+  EXPECT_GT(primary / np, residential / nr);
+}
+
+TEST_F(TrafficModelTest, SampleTravelTimePositiveAndNearExpected) {
+  common::Rng rng(1);
+  const int64_t road = 3;
+  const int64_t t = 10 * 3600;
+  const double expected = model_.ExpectedTravelTime(road, t);
+  double mean = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double s = model_.SampleTravelTime(road, t, &rng);
+    EXPECT_GT(s, 0.0);
+    mean += s;
+  }
+  mean /= 500.0;
+  EXPECT_NEAR(mean, expected, 0.05 * expected);
+}
+
+TEST_F(TrafficModelTest, HistoricalMeanBetweenExtremes) {
+  const int64_t road = 5;
+  const double his = model_.HistoricalMeanTravelTime(road);
+  const double best = model_.ExpectedTravelTime(road, 3 * 3600);
+  const double worst = model_.ExpectedTravelTime(road, 8 * 3600);
+  EXPECT_GE(his, best - 1e-9);
+  EXPECT_LE(his, worst + 1e-9);
+}
+
+}  // namespace
+}  // namespace start::traj
