@@ -1,0 +1,205 @@
+// Microbenchmark for the elementwise kernel engine: broadcast and same-shape
+// ops at transformer-pretraining shapes [B=64, T=128, D=256], against a
+// faithful reimplementation of the seed's scalar div/mod broadcast loop.
+// Emits BENCH_tensor.json so CI tracks the kernel perf trajectory.
+//
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j --target bench_tensor_kernels
+//   ./build/bench_tensor_kernels
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using start::common::Rng;
+using start::common::Stopwatch;
+using start::tensor::NoGradGuard;
+using start::tensor::Shape;
+using start::tensor::Tensor;
+
+constexpr int64_t kB = 64, kT = 128, kD = 256;
+
+/// The seed's broadcast indexing: per output element, a div/mod walk over the
+/// padded dims recovers each input's flat index. Kept verbatim as the
+/// baseline the fused kernels are measured against.
+struct ScalarBroadcastMap {
+  std::array<int64_t, 4> out_dims{};
+  std::array<int64_t, 4> a_strides{};
+  std::array<int64_t, 4> b_strides{};
+  int64_t numel = 0;
+
+  void Map(int64_t flat, int64_t* ia, int64_t* ib) const {
+    int64_t a = 0;
+    int64_t b = 0;
+    for (int d = 3; d >= 0; --d) {
+      const int64_t q = flat % out_dims[d];
+      flat /= out_dims[d];
+      a += q * a_strides[d];
+      b += q * b_strides[d];
+    }
+    *ia = a;
+    *ib = b;
+  }
+};
+
+ScalarBroadcastMap MakeScalarMap(const Shape& a, const Shape& b) {
+  const Shape out = start::tensor::BroadcastShapes(a, b);
+  ScalarBroadcastMap map;
+  map.numel = out.numel();
+  map.out_dims.fill(1);
+  map.a_strides.fill(0);
+  map.b_strides.fill(0);
+  for (int64_t i = 0; i < out.ndim(); ++i) {
+    map.out_dims[static_cast<size_t>(3 - i)] = out.dim(out.ndim() - 1 - i);
+  }
+  auto fill = [&](const Shape& s, std::array<int64_t, 4>* st) {
+    int64_t stride = 1;
+    for (int64_t i = 0; i < s.ndim(); ++i) {
+      const int64_t d = s.dim(s.ndim() - 1 - i);
+      const size_t slot = static_cast<size_t>(3 - i);
+      (*st)[slot] = (d == 1 && map.out_dims[slot] != 1) ? 0 : stride;
+      stride *= d;
+    }
+  };
+  fill(a, &map.a_strides);
+  fill(b, &map.b_strides);
+  return map;
+}
+
+void ScalarBroadcastAdd(const ScalarBroadcastMap& map, const float* pa,
+                        const float* pb, float* out) {
+  for (int64_t i = 0; i < map.numel; ++i) {
+    int64_t ia, ib;
+    map.Map(i, &ia, &ib);
+    out[i] = pa[ia] + pb[ib];
+  }
+}
+
+struct BenchResult {
+  std::string name;
+  double scalar_ms = 0.0;  // seed loop (0 when no scalar baseline applies)
+  double kernel_ms = 0.0;
+  double speedup = 0.0;
+};
+
+/// Median-of-`iters` wall time of `fn` in milliseconds.
+template <typename Fn>
+double TimeMs(int iters, Fn fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+BenchResult BenchBroadcast(const char* name, const Shape& sa, const Shape& sb,
+                           int iters) {
+  Rng rng(42);
+  const Tensor a = Tensor::Rand(sa, &rng, -1, 1);
+  const Tensor b = Tensor::Rand(sb, &rng, -1, 1);
+  const ScalarBroadcastMap map = MakeScalarMap(sa, sb);
+  std::vector<float> scalar_out(static_cast<size_t>(map.numel));
+
+  BenchResult r;
+  r.name = name;
+  r.scalar_ms = TimeMs(iters, [&] {
+    ScalarBroadcastAdd(map, a.data(), b.data(), scalar_out.data());
+  });
+  NoGradGuard no_grad;
+  Tensor sink;  // keep the result alive so the write isn't elided
+  r.kernel_ms = TimeMs(iters, [&] { sink = start::tensor::Add(a, b); });
+  // Cross-check: both paths must agree elementwise.
+  for (int64_t i = 0; i < map.numel; ++i) {
+    const float diff = scalar_out[static_cast<size_t>(i)] - sink.data()[i];
+    if (diff > 1e-6f || diff < -1e-6f) {
+      std::fprintf(stderr, "MISMATCH in %s at %lld\n", name,
+                   static_cast<long long>(i));
+      std::exit(1);
+    }
+  }
+  r.speedup = r.scalar_ms / r.kernel_ms;
+  return r;
+}
+
+BenchResult BenchView(const char* name, int iters) {
+  // Attention-style strided consumption: per-head slice into BMM.
+  Rng rng(7);
+  const int64_t heads = 8, hd = kD / heads;
+  const Tensor q = Tensor::Rand(Shape({8, kT, kD}), &rng, -1, 1);
+  const Tensor k = Tensor::Rand(Shape({8, kT, kD}), &rng, -1, 1);
+  NoGradGuard no_grad;
+  BenchResult r;
+  r.name = name;
+  Tensor sink;
+  r.kernel_ms = TimeMs(iters, [&] {
+    for (int64_t h = 0; h < heads; ++h) {
+      const Tensor qh = start::tensor::Slice(q, 2, h * hd, hd);
+      const Tensor kh = start::tensor::Slice(k, 2, h * hd, hd);
+      sink = start::tensor::BatchMatMul(qh, kh, /*transpose_b=*/true);
+    }
+  });
+  r.speedup = 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<BenchResult> results;
+  // The acceptance shape: [B=64, T=128, D=256] broadcast elementwise.
+  results.push_back(
+      BenchBroadcast("add_broadcast_row_B64_T128_D256", Shape({kB, kT, kD}),
+                     Shape({kD}), 9));
+  results.push_back(
+      BenchBroadcast("add_broadcast_col_B64_T128_D256", Shape({kB, kT, kD}),
+                     Shape({kB, kT, 1}), 9));
+  results.push_back(BenchBroadcast("add_same_shape_B64_T128_D256",
+                                   Shape({kB, kT, kD}), Shape({kB, kT, kD}),
+                                   9));
+  results.push_back(BenchView("bmm_head_slices_B8_T128_D256", 5));
+
+  std::FILE* json = std::fopen("BENCH_tensor.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_tensor.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-36s scalar %8.3f ms   kernel %8.3f ms   speedup %5.2fx\n",
+                r.name.c_str(), r.scalar_ms, r.kernel_ms, r.speedup);
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"scalar_ms\": %.4f, "
+                 "\"kernel_ms\": %.4f, \"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.scalar_ms, r.kernel_ms, r.speedup,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_tensor.json\n");
+
+  // Acceptance gate: broadcast elementwise must beat the seed scalar loop 2x.
+  for (const auto& r : results) {
+    if (r.scalar_ms > 0.0 && r.name.find("broadcast") != std::string::npos &&
+        r.speedup < 2.0) {
+      std::fprintf(stderr, "FAIL: %s speedup %.2fx < 2x\n", r.name.c_str(),
+                   r.speedup);
+      return 1;
+    }
+  }
+  return 0;
+}

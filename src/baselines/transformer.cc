@@ -49,7 +49,7 @@ Tensor TokenTransformer::Forward(const std::vector<int64_t>& ids,
   }
   x = tensor::Add(x, tensor::GatherRows(positional_, pos_ids));
   x = tensor::Reshape(x, Shape({batch, max_len, d_}));
-  x = tensor::Dropout(x, dropout_, training());
+  x = tensor::Dropout(x, dropout_, training(), dropout_rng());
   const Tensor bias = nn::MakePaddingBias(lengths, max_len);
   for (const auto& layer : layers_) x = layer->Forward(x, bias);
   return x;

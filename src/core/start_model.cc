@@ -173,7 +173,7 @@ EncoderOutput StartModel::Encode(const data::Batch& batch) const {
   Tensor seq = tensor::Concat({cls_tokens, x}, 1);  // [B, L+1, d]
   // Embedding dropout: regular regularisation in training, and the Dropout
   // contrastive augmentation (two passes draw independent masks).
-  seq = tensor::Dropout(seq, config_.dropout, training());
+  seq = tensor::Dropout(seq, config_.dropout, training(), dropout_rng());
 
   const Tensor bias = BuildScoreBias(batch);
   for (const auto& layer : layers_) {

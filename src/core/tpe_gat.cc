@@ -42,17 +42,18 @@ TpeGatLayer::TpeGatLayer(int64_t in_dim, int64_t out_dim, int64_t num_heads,
     head.w4 = RegisterParameter(tag + ".w4",
                                 nn::XavierUniform(Shape({head_dim_, 1}), rng));
   }
+  if (use_transfer_prob_) {
+    // Constant per-edge transfer probabilities [E, 1], built once: the edge
+    // list never changes across forward passes.
+    const int64_t e = static_cast<int64_t>(edge_p_->size());
+    std::vector<float> p(edge_p_->begin(), edge_p_->end());
+    p_edge_ = Tensor::FromVector(Shape({e, 1}), std::move(p));
+  }
 }
 
 Tensor TpeGatLayer::Forward(const Tensor& h) const {
   START_CHECK_EQ(h.dim(0), num_vertices_);
   const int64_t e = static_cast<int64_t>(edge_src_->size());
-  // Constant per-edge transfer probabilities [E, 1].
-  Tensor p_edge;
-  if (use_transfer_prob_) {
-    std::vector<float> p(edge_p_->begin(), edge_p_->end());
-    p_edge = Tensor::FromVector(Shape({e, 1}), std::move(p));
-  }
   std::vector<Tensor> outputs;
   outputs.reserve(static_cast<size_t>(num_heads_));
   for (const auto& head : heads_) {
@@ -63,7 +64,7 @@ Tensor TpeGatLayer::Forward(const Tensor& h) const {
                                 tensor::GatherRows(v, *edge_src_));  // [E,1]
     if (use_transfer_prob_) {
       const Tensor w_p = tensor::MatMul(head.w3, head.w4);  // [1,1]
-      scores = tensor::Add(scores, tensor::Mul(p_edge, w_p));
+      scores = tensor::Add(scores, tensor::Mul(p_edge_, w_p));
     }
     scores = tensor::LeakyRelu(tensor::Reshape(scores, Shape({e})), 0.2f);
     const Tensor alpha =

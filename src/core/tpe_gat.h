@@ -49,6 +49,7 @@ class TpeGatLayer : public nn::Module {
   const std::vector<float>* edge_p_;
   int64_t num_vertices_;
   std::vector<Head> heads_;
+  tensor::Tensor p_edge_;  ///< Constant per-edge transfer probs [E, 1].
 };
 
 /// \brief The full L1-layer TPE-GAT stack mapping road features to road

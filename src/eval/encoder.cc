@@ -22,7 +22,9 @@ std::vector<float> TrajectoryEncoder::EmbedAll(
     for (int64_t i = begin; i < end; ++i) {
       batch.push_back(&trajs[static_cast<size_t>(i)]);
     }
-    const tensor::Tensor reps = EncodeBatch(batch, mode);
+    // EncodeBatch may hand back a zero-copy view (e.g. the cls-token slice);
+    // compact it once here for the flat output buffer.
+    const tensor::Tensor reps = EncodeBatch(batch, mode).Contiguous();
     START_CHECK_EQ(reps.dim(0), end - begin);
     START_CHECK_EQ(reps.dim(1), dim());
     std::memcpy(out.data() + begin * dim(), reps.data(),

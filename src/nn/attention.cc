@@ -42,6 +42,8 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
   std::vector<Tensor> head_outputs;
   head_outputs.reserve(static_cast<size_t>(num_heads_));
   for (int64_t h = 0; h < num_heads_; ++h) {
+    // Head slices are zero-copy strided views; BatchMatMul consumes them
+    // directly through its row-strided GEMM path.
     const Tensor qh = tensor::Slice(q, 2, h * head_dim_, head_dim_);
     const Tensor kh = tensor::Slice(k, 2, h * head_dim_, head_dim_);
     const Tensor vh = tensor::Slice(v, 2, h * head_dim_, head_dim_);
@@ -50,7 +52,7 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
                       scale);  // [B, L, L]
     if (score_bias.defined()) scores = tensor::Add(scores, score_bias);
     Tensor attn = tensor::SoftmaxLastDim(scores);
-    attn = tensor::Dropout(attn, dropout_, training());
+    attn = tensor::Dropout(attn, dropout_, training(), dropout_rng());
     head_outputs.push_back(tensor::BatchMatMul(attn, vh));  // [B, L, d']
   }
   const Tensor concat = num_heads_ == 1 ? head_outputs[0]
@@ -77,10 +79,10 @@ TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim,
 Tensor TransformerEncoderLayer::Forward(const Tensor& x,
                                         const Tensor& score_bias) const {
   Tensor a = attn_.Forward(x, score_bias);
-  a = tensor::Dropout(a, dropout_, training());
+  a = tensor::Dropout(a, dropout_, training(), dropout_rng());
   Tensor h = ln1_.Forward(tensor::Add(x, a));
   Tensor f = ffn_.Forward(h);
-  f = tensor::Dropout(f, dropout_, training());
+  f = tensor::Dropout(f, dropout_, training(), dropout_rng());
   return ln2_.Forward(tensor::Add(h, f));
 }
 

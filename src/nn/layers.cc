@@ -66,7 +66,7 @@ FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, common::Rng* rng,
 
 Tensor FeedForward::Forward(const Tensor& x) const {
   Tensor h = tensor::Relu(fc1_.Forward(x));
-  h = tensor::Dropout(h, dropout_, training());
+  h = tensor::Dropout(h, dropout_, training(), dropout_rng());
   return fc2_.Forward(h);
 }
 

@@ -41,6 +41,11 @@ void Module::SetTraining(bool training) {
   for (auto& [name, child] : children_) child->SetTraining(training);
 }
 
+void Module::SetDropoutRng(common::Rng* rng) {
+  dropout_rng_ = rng;
+  for (auto& [name, child] : children_) child->SetDropoutRng(rng);
+}
+
 int64_t Module::ParameterCount() const {
   int64_t n = 0;
   for (const auto& t : Parameters()) n += t.numel();
@@ -104,6 +109,7 @@ tensor::Tensor Module::RegisterParameter(const std::string& name,
 
 void Module::RegisterModule(const std::string& name, Module* child) {
   START_CHECK(child != nullptr);
+  if (dropout_rng_ != nullptr) child->SetDropoutRng(dropout_rng_);
   children_.emplace_back(name, child);
 }
 

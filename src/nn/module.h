@@ -38,6 +38,12 @@ class Module {
   void SetTraining(bool training);
   bool training() const { return training_; }
 
+  /// Sets the generator used for dropout mask sampling in this module tree
+  /// (recursively). nullptr (the default) falls back to common::GlobalRng().
+  /// Seeding an explicit generator makes training steps reproducible even
+  /// when other components consume the global stream.
+  void SetDropoutRng(common::Rng* rng);
+
   /// Total number of scalar parameters.
   int64_t ParameterCount() const;
 
@@ -66,6 +72,9 @@ class Module {
   /// Registers a child module (must outlive this module).
   void RegisterModule(const std::string& name, Module* child);
 
+  /// Generator for dropout masks; nullptr means use common::GlobalRng().
+  common::Rng* dropout_rng() const { return dropout_rng_; }
+
  private:
   void CollectParameters(
       const std::string& prefix,
@@ -74,6 +83,7 @@ class Module {
   std::vector<std::pair<std::string, tensor::Tensor>> params_;
   std::vector<std::pair<std::string, Module*>> children_;
   bool training_ = true;
+  common::Rng* dropout_rng_ = nullptr;
 };
 
 /// Rescales gradients in-place so their global L2 norm is at most `max_norm`.

@@ -82,15 +82,14 @@ Gru::Gru(int64_t input_dim, int64_t hidden_dim, common::Rng* rng)
 Gru::Output Gru::Forward(const Tensor& x,
                          const std::vector<int64_t>& lengths) const {
   START_CHECK_EQ(x.ndim(), 3);
-  const int64_t b = x.dim(0), l = x.dim(1), in = x.dim(2);
+  const int64_t b = x.dim(0), l = x.dim(1);
   START_CHECK_EQ(static_cast<int64_t>(lengths.size()), b);
   const int64_t hd = cell_.hidden_dim();
   Tensor h = Tensor::Zeros(Shape({b, hd}));
   std::vector<Tensor> outputs;
   outputs.reserve(static_cast<size_t>(l));
   for (int64_t t = 0; t < l; ++t) {
-    const Tensor xt =
-        tensor::Reshape(tensor::Slice(x, 1, t, 1), Shape({b, in}));
+    const Tensor xt = tensor::Select(x, 1, t);  // [B, in] zero-copy view
     const Tensor fresh = cell_.Step(xt, h);
     h = MaskedUpdate(fresh, h, StepMask(lengths, t));
     outputs.push_back(tensor::Reshape(h, Shape({b, 1, hd})));
@@ -109,7 +108,7 @@ Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, common::Rng* rng)
 Lstm::Output Lstm::Forward(const Tensor& x,
                            const std::vector<int64_t>& lengths) const {
   START_CHECK_EQ(x.ndim(), 3);
-  const int64_t b = x.dim(0), l = x.dim(1), in = x.dim(2);
+  const int64_t b = x.dim(0), l = x.dim(1);
   START_CHECK_EQ(static_cast<int64_t>(lengths.size()), b);
   const int64_t hd = cell_.hidden_dim();
   LstmCell::State state{Tensor::Zeros(Shape({b, hd})),
@@ -117,8 +116,7 @@ Lstm::Output Lstm::Forward(const Tensor& x,
   std::vector<Tensor> outputs;
   outputs.reserve(static_cast<size_t>(l));
   for (int64_t t = 0; t < l; ++t) {
-    const Tensor xt =
-        tensor::Reshape(tensor::Slice(x, 1, t, 1), Shape({b, in}));
+    const Tensor xt = tensor::Select(x, 1, t);  // [B, in] zero-copy view
     const LstmCell::State fresh = cell_.Step(xt, state);
     const Tensor mask = StepMask(lengths, t);
     state.h = MaskedUpdate(fresh.h, state.h, mask);

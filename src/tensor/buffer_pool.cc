@@ -1,0 +1,108 @@
+#include "tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace start::tensor {
+
+namespace {
+
+/// Bucket index: ceil(log2(n)) clamped to the bucket range; bucket k serves
+/// requests with n in (2^(k-1), 2^k].
+int BucketForRequest(size_t n) {
+  int k = 0;
+  size_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+/// Bucket a buffer is parked in: floor(log2(capacity)), so every buffer in
+/// bucket k has capacity >= 2^k and can serve any request routed to k.
+int BucketForCapacity(size_t cap) {
+  int k = -1;
+  while (cap != 0) {
+    cap >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Global() {
+  static BufferPool* pool = new BufferPool();  // leaked: outlives all tensors
+  return *pool;
+}
+
+std::shared_ptr<std::vector<float>> BufferPool::Acquire(size_t n) {
+  const int bucket = std::min(BucketForRequest(n), kNumBuckets - 1);
+  std::vector<float>* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!buckets_[bucket].empty()) {
+      raw = buckets_[bucket].back().release();
+      buckets_[bucket].pop_back();
+      stats_.hits++;
+      stats_.free_bytes -= raw->capacity() * sizeof(float);
+    } else {
+      stats_.misses++;
+    }
+  }
+  if (raw == nullptr) {
+    raw = new std::vector<float>();
+    raw->reserve(static_cast<size_t>(1) << bucket);
+  }
+  raw->resize(n);
+  return std::shared_ptr<std::vector<float>>(
+      raw, [this](std::vector<float>* v) { Release(v); });
+}
+
+std::shared_ptr<std::vector<float>> BufferPool::AcquireZeroed(size_t n) {
+  auto buf = Acquire(n);
+  std::memset(buf->data(), 0, n * sizeof(float));
+  return buf;
+}
+
+std::shared_ptr<std::vector<float>> BufferPool::Adopt(std::vector<float> v) {
+  auto* raw = new std::vector<float>(std::move(v));
+  return std::shared_ptr<std::vector<float>>(
+      raw, [this](std::vector<float>* p) { Release(p); });
+}
+
+void BufferPool::Release(std::vector<float>* v) {
+  if (v->capacity() == 0) {
+    delete v;
+    return;
+  }
+  const int bucket = std::min(BucketForCapacity(v->capacity()), kNumBuckets - 1);
+  const uint64_t bytes = v->capacity() * sizeof(float);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buckets_[bucket].size() >= kMaxFreePerBucket ||
+      stats_.free_bytes + bytes > kMaxFreeBytes) {
+    delete v;
+    return;
+  }
+  stats_.recycled++;
+  stats_.free_bytes += bytes;
+  buckets_[bucket].emplace_back(v);
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& bucket : buckets_) bucket.clear();
+  stats_.free_bytes = 0;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::shared_ptr<std::vector<float>> AcquireBuffer(int64_t n) {
+  return BufferPool::Global().Acquire(static_cast<size_t>(n));
+}
+
+}  // namespace start::tensor

@@ -36,24 +36,34 @@ Tensor Log(const Tensor& a);
 Tensor Sqrt(const Tensor& a);
 
 /// Inverted-dropout: zeroes elements with probability p and rescales the rest
-/// by 1/(1-p). Identity when `training` is false or p == 0. Uses
-/// common::GlobalRng() for mask sampling.
-Tensor Dropout(const Tensor& a, float p, bool training);
+/// by 1/(1-p). Identity when `training` is false or p == 0. Samples the mask
+/// from `rng` when given, else from common::GlobalRng() — pass an explicit
+/// generator for reproducible masks (the global one is shared process state).
+Tensor Dropout(const Tensor& a, float p, bool training,
+               common::Rng* rng = nullptr);
 
 // ---------------------------------------------------------------------------
-// Shape ops.
+// Shape ops. These return zero-copy views sharing the input's storage
+// whenever the stride system can express the result (always for Slice,
+// Select and 2-D Transpose; for Reshape unless the input's layout cannot be
+// re-expressed, in which case the input is materialised first). Gradients
+// flow through views like through any other op.
 // ---------------------------------------------------------------------------
 
 /// Returns a tensor with the same data viewed under `shape` (numel must match).
 Tensor Reshape(const Tensor& a, const Shape& shape);
-/// Transposes a 2-D tensor.
+/// Transposes a 2-D tensor (zero-copy stride swap).
 Tensor Transpose(const Tensor& a);
 /// Concatenates tensors along `dim`. All other dimensions must agree.
 Tensor Concat(const std::vector<Tensor>& parts, int64_t dim);
-/// Slices `len` elements starting at `start` along `dim`.
+/// Slices `len` elements starting at `start` along `dim` (zero-copy view).
 Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len);
+/// Removes dimension `dim` at `index`: out = a[..., index, ...] (zero-copy
+/// view; the rnn time-step hot path).
+Tensor Select(const Tensor& a, int64_t dim, int64_t index);
 /// Gathers rows of a 2-D tensor: out[i, :] = a[indices[i], :]. This is also
-/// the embedding-lookup primitive (backward scatter-adds into `a`).
+/// the embedding-lookup primitive (backward scatter-adds into `a`). When the
+/// indices form a consecutive run, the result is a zero-copy row view.
 Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices);
 
 // ---------------------------------------------------------------------------

@@ -2,120 +2,66 @@
 #include <functional>
 
 #include "common/rng.h"
-#include "tensor/op_utils.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace start::tensor {
 
-namespace internal {
-
-BroadcastMap MakeBroadcastMap(const Shape& a, const Shape& b) {
-  START_CHECK_LE(a.ndim(), kMaxDims);
-  START_CHECK_LE(b.ndim(), kMaxDims);
-  const Shape out = BroadcastShapes(a, b);
-  BroadcastMap map;
-  map.numel = out.numel();
-  map.same_shape = (a == b);
-  map.out_dims.fill(1);
-  map.a_strides.fill(0);
-  map.b_strides.fill(0);
-  // Fill right-aligned.
-  for (int64_t i = 0; i < out.ndim(); ++i) {
-    map.out_dims[static_cast<size_t>(kMaxDims - 1 - i)] =
-        out.dim(out.ndim() - 1 - i);
-  }
-  auto fill_strides = [&](const Shape& s, std::array<int64_t, kMaxDims>* st) {
-    int64_t stride = 1;
-    for (int64_t i = 0; i < s.ndim(); ++i) {
-      const int64_t d = s.dim(s.ndim() - 1 - i);
-      const size_t slot = static_cast<size_t>(kMaxDims - 1 - i);
-      (*st)[slot] = (d == 1 && map.out_dims[slot] != 1) ? 0 : stride;
-      stride *= d;
-    }
-  };
-  fill_strides(a, &map.a_strides);
-  fill_strides(b, &map.b_strides);
-  return map;
-}
-
-}  // namespace internal
-
 namespace {
 
-using internal::BroadcastMap;
-using internal::MakeBroadcastMap;
+using internal::BinaryBackward;
+using internal::BinaryForward;
+using internal::ElementwisePlan;
+using internal::MakeBinaryPlan;
+using internal::MakeUnaryPlan;
+using internal::UnaryBackward;
+using internal::UnaryForward;
 
 /// Shared scaffolding for broadcasting binary elementwise ops.
 /// fwd(av, bv) computes the output value; da(av, bv) / db(av, bv) compute the
-/// local partial derivatives d out / d a and d out / d b.
+/// local partial derivatives d out / d a and d out / d b. Strided views feed
+/// the kernel directly — no materialisation.
 template <typename Fwd, typename Da, typename Db>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Da da, Db db,
                 const char* name) {
   START_CHECK(a.defined() && b.defined());
-  const BroadcastMap map = MakeBroadcastMap(a.shape(), b.shape());
+  const ElementwisePlan plan = MakeBinaryPlan(*a.impl(), *b.impl());
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  std::vector<float> out(static_cast<size_t>(map.numel));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  if (map.same_shape) {
-    for (int64_t i = 0; i < map.numel; ++i) out[i] = fwd(pa[i], pb[i]);
-  } else {
-    for (int64_t i = 0; i < map.numel; ++i) {
-      int64_t ia, ib;
-      map.Map(i, &ia, &ib);
-      out[i] = fwd(pa[ia], pb[ib]);
-    }
-  }
+  auto out = AcquireBuffer(plan.numel);
+  BinaryForward(plan, a.impl()->base_ptr(), b.impl()->base_ptr(), out->data(),
+                fwd);
   auto a_impl = a.impl();
   auto b_impl = b.impl();
-  auto backward = [map, a_impl, b_impl, da, db](TensorImpl& self) {
-    const float* pa = a_impl->data.data();
-    const float* pb = b_impl->data.data();
-    const float* g = self.grad.data();
-    float* ga = a_impl->grad.data();
-    float* gb = b_impl->grad.data();
+  auto backward = [plan, a_impl, b_impl, da, db](TensorImpl& self) {
     const bool need_a = a_impl->requires_grad;
     const bool need_b = b_impl->requires_grad;
-    if (map.same_shape) {
-      for (int64_t i = 0; i < map.numel; ++i) {
-        if (need_a) ga[i] += g[i] * da(pa[i], pb[i]);
-        if (need_b) gb[i] += g[i] * db(pa[i], pb[i]);
-      }
-    } else {
-      for (int64_t i = 0; i < map.numel; ++i) {
-        int64_t ia, ib;
-        map.Map(i, &ia, &ib);
-        if (need_a) ga[ia] += g[i] * da(pa[ia], pb[ib]);
-        if (need_b) gb[ib] += g[i] * db(pa[ia], pb[ib]);
-      }
-    }
+    if (!need_a && !need_b) return;
+    BinaryBackward(plan, a_impl->base_ptr(), b_impl->base_ptr(),
+                   self.grad_ptr(), need_a ? a_impl->grad_ptr() : nullptr,
+                   need_b ? b_impl->grad_ptr() : nullptr, da, db);
   };
-  return MakeOpResult(out_shape, std::move(out), {a.impl(), b.impl()},
-                      std::move(backward), name);
+  return MakeOpResultBuffer(out_shape, std::move(out), {a.impl(), b.impl()},
+                            std::move(backward), name);
 }
 
 /// Shared scaffolding for unary elementwise ops. dfn(x, y) is the local
-/// derivative given input x and output y.
+/// derivative given input x and output y. The output buffer itself is
+/// captured for y-based derivative rules (sigmoid, tanh, exp) — no copy.
 template <typename Fwd, typename Dfn>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfn dfn, const char* name) {
   START_CHECK(a.defined());
-  const int64_t n = a.numel();
-  std::vector<float> out(static_cast<size_t>(n));
-  const float* pa = a.data();
-  for (int64_t i = 0; i < n; ++i) out[i] = fwd(pa[i]);
+  const ElementwisePlan plan = MakeUnaryPlan(*a.impl());
+  auto out = AcquireBuffer(plan.numel);
+  UnaryForward(plan, a.impl()->base_ptr(), out->data(), fwd);
   auto a_impl = a.impl();
-  // Save outputs for derivative rules expressed through y (sigmoid, tanh, exp).
-  auto out_copy = std::make_shared<std::vector<float>>(out);
-  auto backward = [a_impl, out_copy, dfn, n](TensorImpl& self) {
+  auto y_buf = out;
+  auto backward = [plan, a_impl, y_buf, dfn](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
-    const float* g = self.grad.data();
-    const float* x = a_impl->data.data();
-    const float* y = out_copy->data();
-    float* ga = a_impl->grad.data();
-    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * dfn(x[i], y[i]);
+    UnaryBackward(plan, self.grad_ptr(), a_impl->base_ptr(), y_buf->data(),
+                  a_impl->grad_ptr(), dfn);
   };
-  return MakeOpResult(a.shape(), std::move(out), {a.impl()},
-                      std::move(backward), name);
+  return MakeOpResultBuffer(a.shape(), std::move(out), {a.impl()},
+                            std::move(backward), name);
 }
 
 }  // namespace
@@ -240,31 +186,38 @@ Tensor Sqrt(const Tensor& a) {
       [](float, float y) { return 0.5f / y; }, "sqrt");
 }
 
-Tensor Dropout(const Tensor& a, float p, bool training) {
+Tensor Dropout(const Tensor& a, float p, bool training, common::Rng* rng) {
   START_CHECK(a.defined());
   START_CHECK_GE(p, 0.0f);
   START_CHECK_LT(p, 1.0f);
   if (!training || p == 0.0f) return a;
-  const int64_t n = a.numel();
+  // Mask sampling walks elements in logical order from a single generator, so
+  // results are reproducible for a given rng state (pass an explicit rng to
+  // seed it in tests; the global one is used otherwise).
+  const Tensor ac = a.Contiguous();
+  const int64_t n = ac.numel();
   const float keep_scale = 1.0f / (1.0f - p);
-  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
-  auto& rng = common::GlobalRng();
-  std::vector<float> out(static_cast<size_t>(n));
-  const float* pa = a.data();
+  auto mask = AcquireBuffer(n);
+  common::Rng& r = rng != nullptr ? *rng : common::GlobalRng();
+  auto out = AcquireBuffer(n);
+  const float* pa = ac.data();
+  float* pm = mask->data();
+  float* po = out->data();
   for (int64_t i = 0; i < n; ++i) {
-    const float m = rng.Bernoulli(p) ? 0.0f : keep_scale;
-    (*mask)[i] = m;
-    out[i] = pa[i] * m;
+    const float m = r.Bernoulli(p) ? 0.0f : keep_scale;
+    pm[i] = m;
+    po[i] = pa[i] * m;
   }
-  auto a_impl = a.impl();
+  auto a_impl = ac.impl();
   auto backward = [a_impl, mask, n](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
-    const float* g = self.grad.data();
-    float* ga = a_impl->grad.data();
-    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * (*mask)[i];
+    const float* g = self.grad_ptr();
+    const float* pm = mask->data();
+    float* ga = a_impl->grad_ptr();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * pm[i];
   };
-  return MakeOpResult(a.shape(), std::move(out), {a.impl()},
-                      std::move(backward), "dropout");
+  return MakeOpResultBuffer(ac.shape(), std::move(out), {ac.impl()},
+                            std::move(backward), "dropout");
 }
 
 }  // namespace start::tensor

@@ -1,63 +1,65 @@
 #include <algorithm>
 #include <cmath>
 
-#include "tensor/op_utils.h"
 #include "tensor/ops.h"
 
 namespace start::tensor {
 
 Tensor Sum(const Tensor& a) {
   START_CHECK(a.defined());
-  const int64_t n = a.numel();
+  const Tensor ac = a.Contiguous();
+  const int64_t n = ac.numel();
   double acc = 0.0;
-  const float* pa = a.data();
+  const float* pa = ac.data();
   for (int64_t i = 0; i < n; ++i) acc += pa[i];
-  auto a_impl = a.impl();
+  auto a_impl = ac.impl();
   auto backward = [a_impl, n](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
-    const float g = self.grad[0];
-    float* ga = a_impl->grad.data();
+    const float g = self.grad_ptr()[0];
+    float* ga = a_impl->grad_ptr();
     for (int64_t i = 0; i < n; ++i) ga[i] += g;
   };
-  return MakeOpResult(Shape({1}), {static_cast<float>(acc)}, {a.impl()},
+  return MakeOpResult(Shape({1}), {static_cast<float>(acc)}, {ac.impl()},
                       std::move(backward), "sum");
 }
 
 Tensor Mean(const Tensor& a) {
   START_CHECK(a.defined());
-  const int64_t n = a.numel();
+  const Tensor ac = a.Contiguous();
+  const int64_t n = ac.numel();
   START_CHECK_GT(n, 0);
   double acc = 0.0;
-  const float* pa = a.data();
+  const float* pa = ac.data();
   for (int64_t i = 0; i < n; ++i) acc += pa[i];
   const float inv = 1.0f / static_cast<float>(n);
-  auto a_impl = a.impl();
+  auto a_impl = ac.impl();
   auto backward = [a_impl, n, inv](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
-    const float g = self.grad[0] * inv;
-    float* ga = a_impl->grad.data();
+    const float g = self.grad_ptr()[0] * inv;
+    float* ga = a_impl->grad_ptr();
     for (int64_t i = 0; i < n; ++i) ga[i] += g;
   };
-  return MakeOpResult(Shape({1}), {static_cast<float>(acc / n)}, {a.impl()},
+  return MakeOpResult(Shape({1}), {static_cast<float>(acc / n)}, {ac.impl()},
                       std::move(backward), "mean");
 }
 
 namespace {
 
-/// Applies fn(row_in, row_out, width) over the last dimension.
 int64_t LastDim(const Tensor& a) { return a.shape().dim(-1); }
 
 }  // namespace
 
 Tensor SoftmaxLastDim(const Tensor& a) {
   START_CHECK(a.defined());
-  const int64_t d = LastDim(a);
-  const int64_t rows = a.numel() / d;
-  std::vector<float> out(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
+  const Tensor ac = a.Contiguous();
+  const int64_t d = LastDim(ac);
+  const int64_t rows = ac.numel() / d;
+  auto out = AcquireBuffer(ac.numel());
+  const float* pa = ac.data();
+#pragma omp parallel for if (rows * d > (1 << 14))
   for (int64_t r = 0; r < rows; ++r) {
     const float* x = pa + r * d;
-    float* y = out.data() + r * d;
+    float* y = out->data() + r * d;
     float mx = x[0];
     for (int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
     float sum = 0.0f;
@@ -68,13 +70,14 @@ Tensor SoftmaxLastDim(const Tensor& a) {
     const float inv = 1.0f / sum;
     for (int64_t i = 0; i < d; ++i) y[i] *= inv;
   }
-  auto a_impl = a.impl();
-  auto y_copy = std::make_shared<std::vector<float>>(out);
-  auto backward = [a_impl, y_copy, rows, d](TensorImpl& self) {
+  auto a_impl = ac.impl();
+  // The output buffer is the saved softmax for the backward pass — no copy.
+  auto y_buf = out;
+  auto backward = [a_impl, y_buf, rows, d](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
-    const float* g = self.grad.data();
-    float* ga = a_impl->grad.data();
-    const float* y = y_copy->data();
+    const float* g = self.grad_ptr();
+    float* ga = a_impl->grad_ptr();
+    const float* y = y_buf->data();
     for (int64_t r = 0; r < rows; ++r) {
       const float* yr = y + r * d;
       const float* gr = g + r * d;
@@ -84,19 +87,20 @@ Tensor SoftmaxLastDim(const Tensor& a) {
       for (int64_t i = 0; i < d; ++i) gar[i] += yr[i] * (gr[i] - dot);
     }
   };
-  return MakeOpResult(a.shape(), std::move(out), {a.impl()},
-                      std::move(backward), "softmax");
+  return MakeOpResultBuffer(ac.shape(), std::move(out), {ac.impl()},
+                            std::move(backward), "softmax");
 }
 
 Tensor LogSoftmaxLastDim(const Tensor& a) {
   START_CHECK(a.defined());
-  const int64_t d = LastDim(a);
-  const int64_t rows = a.numel() / d;
-  std::vector<float> out(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
+  const Tensor ac = a.Contiguous();
+  const int64_t d = LastDim(ac);
+  const int64_t rows = ac.numel() / d;
+  auto out = AcquireBuffer(ac.numel());
+  const float* pa = ac.data();
   for (int64_t r = 0; r < rows; ++r) {
     const float* x = pa + r * d;
-    float* y = out.data() + r * d;
+    float* y = out->data() + r * d;
     float mx = x[0];
     for (int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
     float sum = 0.0f;
@@ -104,13 +108,13 @@ Tensor LogSoftmaxLastDim(const Tensor& a) {
     const float lse = mx + std::log(sum);
     for (int64_t i = 0; i < d; ++i) y[i] = x[i] - lse;
   }
-  auto a_impl = a.impl();
-  auto y_copy = std::make_shared<std::vector<float>>(out);
-  auto backward = [a_impl, y_copy, rows, d](TensorImpl& self) {
+  auto a_impl = ac.impl();
+  auto y_buf = out;
+  auto backward = [a_impl, y_buf, rows, d](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
-    const float* g = self.grad.data();
-    float* ga = a_impl->grad.data();
-    const float* y = y_copy->data();
+    const float* g = self.grad_ptr();
+    float* ga = a_impl->grad_ptr();
+    const float* y = y_buf->data();
     for (int64_t r = 0; r < rows; ++r) {
       const float* yr = y + r * d;
       const float* gr = g + r * d;
@@ -122,26 +126,27 @@ Tensor LogSoftmaxLastDim(const Tensor& a) {
       }
     }
   };
-  return MakeOpResult(a.shape(), std::move(out), {a.impl()},
-                      std::move(backward), "log_softmax");
+  return MakeOpResultBuffer(ac.shape(), std::move(out), {ac.impl()},
+                            std::move(backward), "log_softmax");
 }
 
 Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                  float eps) {
   START_CHECK(x.defined());
-  const int64_t d = LastDim(x);
-  START_CHECK_EQ(gamma.numel(), d);
-  START_CHECK_EQ(beta.numel(), d);
-  const int64_t rows = x.numel() / d;
-  std::vector<float> out(static_cast<size_t>(x.numel()));
+  const Tensor xc = x.Contiguous();
+  const Tensor gc = gamma.Contiguous();
+  const Tensor bc = beta.Contiguous();
+  const int64_t d = LastDim(xc);
+  START_CHECK_EQ(gc.numel(), d);
+  START_CHECK_EQ(bc.numel(), d);
+  const int64_t rows = xc.numel() / d;
+  auto out = AcquireBuffer(xc.numel());
   // Save normalised values and inverse stddevs for the backward pass.
-  auto xhat = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(x.numel()));
-  auto inv_std = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(rows));
-  const float* px = x.data();
-  const float* pg = gamma.data();
-  const float* pb = beta.data();
+  auto xhat = AcquireBuffer(xc.numel());
+  auto inv_std = AcquireBuffer(rows);
+  const float* px = xc.data();
+  const float* pg = gc.data();
+  const float* pb = bc.data();
   for (int64_t r = 0; r < rows; ++r) {
     const float* xr = px + r * d;
     float mean = 0.0f;
@@ -156,28 +161,28 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     const float istd = 1.0f / std::sqrt(var + eps);
     (*inv_std)[static_cast<size_t>(r)] = istd;
     float* hr = xhat->data() + r * d;
-    float* yr = out.data() + r * d;
+    float* yr = out->data() + r * d;
     for (int64_t i = 0; i < d; ++i) {
       hr[i] = (xr[i] - mean) * istd;
       yr[i] = hr[i] * pg[i] + pb[i];
     }
   }
-  auto x_impl = x.impl();
-  auto g_impl = gamma.impl();
-  auto b_impl = beta.impl();
+  auto x_impl = xc.impl();
+  auto g_impl = gc.impl();
+  auto b_impl = bc.impl();
   auto backward = [x_impl, g_impl, b_impl, xhat, inv_std, rows,
                    d](TensorImpl& self) {
-    const float* g = self.grad.data();
-    const float* pg = g_impl->data.data();
+    const float* g = self.grad_ptr();
+    const float* pg = g_impl->data_ptr();
     for (int64_t r = 0; r < rows; ++r) {
       const float* gr = g + r * d;
       const float* hr = xhat->data() + r * d;
       if (g_impl->requires_grad) {
-        float* gg = g_impl->grad.data();
+        float* gg = g_impl->grad_ptr();
         for (int64_t i = 0; i < d; ++i) gg[i] += gr[i] * hr[i];
       }
       if (b_impl->requires_grad) {
-        float* gb = b_impl->grad.data();
+        float* gb = b_impl->grad_ptr();
         for (int64_t i = 0; i < d; ++i) gb[i] += gr[i];
       }
       if (x_impl->requires_grad) {
@@ -189,7 +194,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           sum1 += dyg;
           sum2 += dyg * hr[i];
         }
-        float* gx = x_impl->grad.data() + r * d;
+        float* gx = x_impl->grad_ptr() + r * d;
         const float invd = 1.0f / static_cast<float>(d);
         for (int64_t i = 0; i < d; ++i) {
           const float dyg = gr[i] * pg[i];
@@ -198,32 +203,33 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       }
     }
   };
-  return MakeOpResult(x.shape(), std::move(out),
-                      {x.impl(), gamma.impl(), beta.impl()},
-                      std::move(backward), "layer_norm");
+  return MakeOpResultBuffer(xc.shape(), std::move(out),
+                            {xc.impl(), gc.impl(), bc.impl()},
+                            std::move(backward), "layer_norm");
 }
 
 Tensor L2NormalizeRows(const Tensor& a, float eps) {
   START_CHECK_EQ(a.ndim(), 2);
-  const int64_t rows = a.dim(0), d = a.dim(1);
-  std::vector<float> out(static_cast<size_t>(a.numel()));
-  auto norms = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
-  const float* pa = a.data();
+  const Tensor ac = a.Contiguous();
+  const int64_t rows = ac.dim(0), d = ac.dim(1);
+  auto out = AcquireBuffer(ac.numel());
+  auto norms = AcquireBuffer(rows);
+  const float* pa = ac.data();
   for (int64_t r = 0; r < rows; ++r) {
     const float* xr = pa + r * d;
     float sq = 0.0f;
     for (int64_t i = 0; i < d; ++i) sq += xr[i] * xr[i];
     const float norm = std::sqrt(sq) + eps;
     (*norms)[static_cast<size_t>(r)] = norm;
-    float* yr = out.data() + r * d;
+    float* yr = out->data() + r * d;
     for (int64_t i = 0; i < d; ++i) yr[i] = xr[i] / norm;
   }
-  auto a_impl = a.impl();
+  auto a_impl = ac.impl();
   auto backward = [a_impl, norms, rows, d](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
-    const float* g = self.grad.data();
-    const float* x = a_impl->data.data();
-    float* ga = a_impl->grad.data();
+    const float* g = self.grad_ptr();
+    const float* x = a_impl->data_ptr();
+    float* ga = a_impl->grad_ptr();
     for (int64_t r = 0; r < rows; ++r) {
       const float norm = (*norms)[static_cast<size_t>(r)];
       const float* xr = x + r * d;
@@ -238,20 +244,20 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
       }
     }
   };
-  return MakeOpResult(a.shape(), std::move(out), {a.impl()},
-                      std::move(backward), "l2_normalize");
+  return MakeOpResultBuffer(ac.shape(), std::move(out), {ac.impl()},
+                            std::move(backward), "l2_normalize");
 }
 
 Tensor CrossEntropyWithLogits(const Tensor& logits,
                               const std::vector<int64_t>& targets,
                               int64_t ignore_index) {
   START_CHECK_EQ(logits.ndim(), 2);
-  const int64_t n = logits.dim(0), c = logits.dim(1);
+  const Tensor lc = logits.Contiguous();
+  const int64_t n = lc.dim(0), c = lc.dim(1);
   START_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
-  const float* pl = logits.data();
+  const float* pl = lc.data();
   // Save per-row softmax for the backward pass.
-  auto probs = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(n * c));
+  auto probs = AcquireBuffer(n * c);
   double loss = 0.0;
   int64_t valid = 0;
   for (int64_t r = 0; r < n; ++r) {
@@ -274,13 +280,13 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   }
   START_CHECK_MSG(valid > 0, "cross entropy with no valid targets");
   const float inv_valid = 1.0f / static_cast<float>(valid);
-  auto l_impl = logits.impl();
+  auto l_impl = lc.impl();
   auto tgt = std::make_shared<std::vector<int64_t>>(targets);
   auto backward = [l_impl, probs, tgt, n, c, ignore_index,
                    inv_valid](TensorImpl& self) {
     if (!l_impl->requires_grad) return;
-    const float g = self.grad[0] * inv_valid;
-    float* gl = l_impl->grad.data();
+    const float g = self.grad_ptr()[0] * inv_valid;
+    float* gl = l_impl->grad_ptr();
     for (int64_t r = 0; r < n; ++r) {
       const int64_t t = (*tgt)[static_cast<size_t>(r)];
       if (t == ignore_index) continue;
@@ -293,40 +299,42 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   };
   return MakeOpResult(Shape({1}),
                       {static_cast<float>(loss / static_cast<double>(valid))},
-                      {logits.impl()}, std::move(backward), "cross_entropy");
+                      {lc.impl()}, std::move(backward), "cross_entropy");
 }
 
 Tensor MseLoss(const Tensor& pred, const std::vector<float>& target) {
   START_CHECK(pred.defined());
-  const int64_t n = pred.numel();
+  const Tensor pc = pred.Contiguous();
+  const int64_t n = pc.numel();
   START_CHECK_EQ(static_cast<int64_t>(target.size()), n);
-  const float* pp = pred.data();
+  const float* pp = pc.data();
   double loss = 0.0;
   for (int64_t i = 0; i < n; ++i) {
     const double diff = pp[i] - target[static_cast<size_t>(i)];
     loss += diff * diff;
   }
   const float inv = 1.0f / static_cast<float>(n);
-  auto p_impl = pred.impl();
+  auto p_impl = pc.impl();
   auto tgt = std::make_shared<std::vector<float>>(target);
   auto backward = [p_impl, tgt, n, inv](TensorImpl& self) {
     if (!p_impl->requires_grad) return;
-    const float g = self.grad[0] * 2.0f * inv;
-    const float* pp = p_impl->data.data();
-    float* gp = p_impl->grad.data();
+    const float g = self.grad_ptr()[0] * 2.0f * inv;
+    const float* pp = p_impl->data_ptr();
+    float* gp = p_impl->grad_ptr();
     for (int64_t i = 0; i < n; ++i) {
       gp[i] += g * (pp[i] - (*tgt)[static_cast<size_t>(i)]);
     }
   };
   return MakeOpResult(Shape({1}), {static_cast<float>(loss / n)},
-                      {pred.impl()}, std::move(backward), "mse");
+                      {pc.impl()}, std::move(backward), "mse");
 }
 
 Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets) {
   START_CHECK(logits.defined());
-  const int64_t n = logits.numel();
+  const Tensor lc = logits.Contiguous();
+  const int64_t n = lc.numel();
   START_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
-  const float* pl = logits.data();
+  const float* pl = lc.data();
   double loss = 0.0;
   for (int64_t i = 0; i < n; ++i) {
     const float x = pl[i];
@@ -335,20 +343,20 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets) {
     loss += std::max(x, 0.0f) - x * y + std::log1p(std::exp(-std::fabs(x)));
   }
   const float inv = 1.0f / static_cast<float>(n);
-  auto l_impl = logits.impl();
+  auto l_impl = lc.impl();
   auto tgt = std::make_shared<std::vector<float>>(targets);
   auto backward = [l_impl, tgt, n, inv](TensorImpl& self) {
     if (!l_impl->requires_grad) return;
-    const float g = self.grad[0] * inv;
-    const float* pl = l_impl->data.data();
-    float* gl = l_impl->grad.data();
+    const float g = self.grad_ptr()[0] * inv;
+    const float* pl = l_impl->data_ptr();
+    float* gl = l_impl->grad_ptr();
     for (int64_t i = 0; i < n; ++i) {
       const float sig = 1.0f / (1.0f + std::exp(-pl[i]));
       gl[i] += g * (sig - (*tgt)[static_cast<size_t>(i)]);
     }
   };
   return MakeOpResult(Shape({1}), {static_cast<float>(loss / n)},
-                      {logits.impl()}, std::move(backward), "bce");
+                      {lc.impl()}, std::move(backward), "bce");
 }
 
 }  // namespace start::tensor

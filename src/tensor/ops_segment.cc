@@ -1,7 +1,7 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
-#include "tensor/op_utils.h"
 #include "tensor/ops.h"
 
 namespace start::tensor {
@@ -10,9 +10,10 @@ Tensor SegmentSoftmax(const Tensor& scores,
                       const std::vector<int64_t>& segment_ids,
                       int64_t num_segments) {
   START_CHECK_EQ(scores.ndim(), 1);
-  const int64_t e = scores.dim(0);
+  const Tensor sc = scores.Contiguous();
+  const int64_t e = sc.dim(0);
   START_CHECK_EQ(static_cast<int64_t>(segment_ids.size()), e);
-  const float* ps = scores.data();
+  const float* ps = sc.data();
   // Two-pass: per-segment max for stability, then exp/sum.
   std::vector<float> seg_max(static_cast<size_t>(num_segments),
                              -std::numeric_limits<float>::infinity());
@@ -22,24 +23,25 @@ Tensor SegmentSoftmax(const Tensor& scores,
     seg_max[static_cast<size_t>(s)] =
         std::max(seg_max[static_cast<size_t>(s)], ps[i]);
   }
-  std::vector<float> out(static_cast<size_t>(e));
+  auto out = AcquireBuffer(e);
+  float* po = out->data();
   std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
   for (int64_t i = 0; i < e; ++i) {
     const int64_t s = segment_ids[static_cast<size_t>(i)];
-    out[static_cast<size_t>(i)] =
-        std::exp(ps[i] - seg_max[static_cast<size_t>(s)]);
-    seg_sum[static_cast<size_t>(s)] += out[static_cast<size_t>(i)];
+    po[i] = std::exp(ps[i] - seg_max[static_cast<size_t>(s)]);
+    seg_sum[static_cast<size_t>(s)] += po[i];
   }
   for (int64_t i = 0; i < e; ++i) {
     const int64_t s = segment_ids[static_cast<size_t>(i)];
-    out[static_cast<size_t>(i)] /= seg_sum[static_cast<size_t>(s)];
+    po[i] /= seg_sum[static_cast<size_t>(s)];
   }
-  auto s_impl = scores.impl();
+  auto s_impl = sc.impl();
   auto ids = std::make_shared<std::vector<int64_t>>(segment_ids);
-  auto alphas = std::make_shared<std::vector<float>>(out);
+  // The output buffer doubles as the saved alphas for backward — no copy.
+  auto alphas = out;
   auto backward = [s_impl, ids, alphas, e, num_segments](TensorImpl& self) {
     if (!s_impl->requires_grad) return;
-    const float* g = self.grad.data();
+    const float* g = self.grad_ptr();
     const float* a = alphas->data();
     // d s_i = a_i * (g_i - sum_{j in seg} a_j g_j)
     std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
@@ -47,14 +49,14 @@ Tensor SegmentSoftmax(const Tensor& scores,
       seg_dot[static_cast<size_t>((*ids)[static_cast<size_t>(i)])] +=
           a[i] * g[i];
     }
-    float* gs = s_impl->grad.data();
+    float* gs = s_impl->grad_ptr();
     for (int64_t i = 0; i < e; ++i) {
       const int64_t s = (*ids)[static_cast<size_t>(i)];
       gs[i] += a[i] * (g[i] - seg_dot[static_cast<size_t>(s)]);
     }
   };
-  return MakeOpResult(scores.shape(), std::move(out), {scores.impl()},
-                      std::move(backward), "segment_softmax");
+  return MakeOpResultBuffer(sc.shape(), std::move(out), {sc.impl()},
+                            std::move(backward), "segment_softmax");
 }
 
 Tensor SegmentWeightedSum(const Tensor& values, const Tensor& weights,
@@ -62,32 +64,35 @@ Tensor SegmentWeightedSum(const Tensor& values, const Tensor& weights,
                           int64_t num_segments) {
   START_CHECK_EQ(values.ndim(), 2);
   START_CHECK_EQ(weights.ndim(), 1);
-  const int64_t e = values.dim(0), d = values.dim(1);
-  START_CHECK_EQ(weights.dim(0), e);
+  const Tensor vc = values.Contiguous();
+  const Tensor wc = weights.Contiguous();
+  const int64_t e = vc.dim(0), d = vc.dim(1);
+  START_CHECK_EQ(wc.dim(0), e);
   START_CHECK_EQ(static_cast<int64_t>(segment_ids.size()), e);
-  std::vector<float> out(static_cast<size_t>(num_segments * d), 0.0f);
-  const float* pv = values.data();
-  const float* pw = weights.data();
+  auto out =
+      BufferPool::Global().AcquireZeroed(static_cast<size_t>(num_segments * d));
+  const float* pv = vc.data();
+  const float* pw = wc.data();
   for (int64_t i = 0; i < e; ++i) {
     const int64_t s = segment_ids[static_cast<size_t>(i)];
     START_CHECK_MSG(s >= 0 && s < num_segments, "segment id " << s);
     const float w = pw[i];
-    float* o = out.data() + s * d;
+    float* o = out->data() + s * d;
     const float* v = pv + i * d;
     for (int64_t j = 0; j < d; ++j) o[j] += w * v[j];
   }
-  auto v_impl = values.impl();
-  auto w_impl = weights.impl();
+  auto v_impl = vc.impl();
+  auto w_impl = wc.impl();
   auto ids = std::make_shared<std::vector<int64_t>>(segment_ids);
   auto backward = [v_impl, w_impl, ids, e, d](TensorImpl& self) {
-    const float* g = self.grad.data();
-    const float* pv = v_impl->data.data();
-    const float* pw = w_impl->data.data();
+    const float* g = self.grad_ptr();
+    const float* pv = v_impl->data_ptr();
+    const float* pw = w_impl->data_ptr();
     for (int64_t i = 0; i < e; ++i) {
       const int64_t s = (*ids)[static_cast<size_t>(i)];
       const float* gs = g + s * d;
       if (v_impl->requires_grad) {
-        float* gv = v_impl->grad.data() + i * d;
+        float* gv = v_impl->grad_ptr() + i * d;
         const float w = pw[i];
         for (int64_t j = 0; j < d; ++j) gv[j] += w * gs[j];
       }
@@ -95,13 +100,13 @@ Tensor SegmentWeightedSum(const Tensor& values, const Tensor& weights,
         const float* v = pv + i * d;
         float acc = 0.0f;
         for (int64_t j = 0; j < d; ++j) acc += v[j] * gs[j];
-        w_impl->grad[static_cast<size_t>(i)] += acc;
+        w_impl->grad_ptr()[static_cast<size_t>(i)] += acc;
       }
     }
   };
-  return MakeOpResult(Shape({num_segments, d}), std::move(out),
-                      {values.impl(), weights.impl()}, std::move(backward),
-                      "segment_weighted_sum");
+  return MakeOpResultBuffer(Shape({num_segments, d}), std::move(out),
+                            {vc.impl(), wc.impl()}, std::move(backward),
+                            "segment_weighted_sum");
 }
 
 }  // namespace start::tensor

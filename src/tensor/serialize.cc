@@ -59,8 +59,11 @@ common::Status SaveTensors(const std::string& path,
         return common::Status::IOError("write dims failed: " + name);
       }
     }
-    if (!WriteBytes(f.get(), t.data(),
-                    static_cast<size_t>(t.numel()) * sizeof(float))) {
+    // Files always hold dense row-major data; a strided view is compacted
+    // into a fresh buffer before writing.
+    const Tensor dense = t.is_contiguous() ? t : t.Detach();
+    if (!WriteBytes(f.get(), dense.data(),
+                    static_cast<size_t>(dense.numel()) * sizeof(float))) {
       return common::Status::IOError("write data failed: " + name);
     }
   }

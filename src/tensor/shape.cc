@@ -45,4 +45,73 @@ Shape BroadcastShapes(const Shape& a, const Shape& b) {
   return Shape(std::move(out));
 }
 
+std::vector<int64_t> RowMajorStrides(const std::vector<int64_t>& dims) {
+  std::vector<int64_t> strides(dims.size());
+  int64_t stride = 1;
+  for (size_t i = dims.size(); i-- > 0;) {
+    strides[i] = stride;
+    stride *= dims[i];
+  }
+  return strides;
+}
+
+bool StridesAreContiguous(const std::vector<int64_t>& dims,
+                          const std::vector<int64_t>& strides) {
+  int64_t expected = 1;
+  for (size_t i = dims.size(); i-- > 0;) {
+    if (dims[i] == 1) continue;
+    if (strides[i] != expected) return false;
+    expected *= dims[i];
+  }
+  return true;
+}
+
+bool ComputeReshapeStrides(const std::vector<int64_t>& old_dims,
+                           const std::vector<int64_t>& old_strides,
+                           const std::vector<int64_t>& new_dims,
+                           std::vector<int64_t>* new_strides) {
+  // Coalesce the old layout into maximal contiguous chunks, then try to lay
+  // each new dimension out inside a single chunk (the numpy no-copy reshape
+  // condition). Size-1 dims are ignored on input and get stride equal to the
+  // following dim's extent on output.
+  std::vector<int64_t> chunk_numel;    // elements in the chunk
+  std::vector<int64_t> chunk_stride;   // stride of the chunk's last element
+  for (size_t i = 0; i < old_dims.size(); ++i) {
+    if (old_dims[i] == 1) continue;
+    if (!chunk_numel.empty() &&
+        chunk_stride.back() == old_strides[i] * old_dims[i]) {
+      chunk_numel.back() *= old_dims[i];
+      chunk_stride.back() = old_strides[i];
+    } else {
+      chunk_numel.push_back(old_dims[i]);
+      chunk_stride.push_back(old_strides[i]);
+    }
+  }
+  new_strides->assign(new_dims.size(), 0);
+  size_t chunk = 0;
+  int64_t left = chunk_numel.empty() ? 1 : chunk_numel[0];
+  for (size_t i = 0; i < new_dims.size(); ++i) {
+    const int64_t d = new_dims[i];
+    if (d == 1) continue;  // stride filled in the cleanup pass below
+    while (left == 1 && chunk + 1 < chunk_numel.size()) {
+      ++chunk;
+      left = chunk_numel[chunk];
+    }
+    if (left % d != 0) return false;
+    left /= d;
+    (*new_strides)[i] = chunk_stride[chunk] * left;
+  }
+  // Size-1 dims take the stride a row-major layout would give them so the
+  // result still round-trips through StridesAreContiguous-style checks.
+  int64_t running = 1;
+  for (size_t i = new_dims.size(); i-- > 0;) {
+    if (new_dims[i] == 1) {
+      (*new_strides)[i] = running;
+    } else {
+      running = (*new_strides)[i] * new_dims[i];
+    }
+  }
+  return true;
+}
+
 }  // namespace start::tensor

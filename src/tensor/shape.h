@@ -41,6 +41,22 @@ class Shape {
 /// shapes are not broadcast-compatible.
 Shape BroadcastShapes(const Shape& a, const Shape& b);
 
+/// Row-major (C-contiguous) element strides for `dims`.
+std::vector<int64_t> RowMajorStrides(const std::vector<int64_t>& dims);
+
+/// True when `strides` describe a dense row-major layout of `dims`
+/// (size-1 dimensions may carry any stride).
+bool StridesAreContiguous(const std::vector<int64_t>& dims,
+                          const std::vector<int64_t>& strides);
+
+/// Strides viewing data laid out as (`old_dims`, `old_strides`) under
+/// `new_dims` without copying, when such a view exists (numpy-style reshape
+/// without copy). Returns false when the reshape requires materialisation.
+bool ComputeReshapeStrides(const std::vector<int64_t>& old_dims,
+                           const std::vector<int64_t>& old_strides,
+                           const std::vector<int64_t>& new_dims,
+                           std::vector<int64_t>* new_strides);
+
 }  // namespace start::tensor
 
 #endif  // START_TENSOR_SHAPE_H_

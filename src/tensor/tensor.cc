@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <cstring>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -8,6 +9,52 @@ namespace start::tensor {
 
 namespace {
 thread_local bool g_grad_mode = true;
+
+/// Copies the logical extent of a (possibly strided) impl into a dense
+/// row-major destination.
+void CopyStridedRec(const float* src, const int64_t* dims,
+                    const int64_t* strides, int64_t nd, float** dst) {
+  if (nd == 0) {
+    *(*dst)++ = *src;
+    return;
+  }
+  if (nd == 1) {
+    if (strides[0] == 1) {
+      std::memcpy(*dst, src, static_cast<size_t>(dims[0]) * sizeof(float));
+      *dst += dims[0];
+    } else {
+      for (int64_t i = 0; i < dims[0]; ++i) *(*dst)++ = src[i * strides[0]];
+    }
+    return;
+  }
+  for (int64_t i = 0; i < dims[0]; ++i) {
+    CopyStridedRec(src + i * strides[0], dims + 1, strides + 1, nd - 1, dst);
+  }
+}
+
+void CopyToDense(const TensorImpl& src, float* dst) {
+  if (src.contiguous) {
+    std::memcpy(dst, src.base_ptr(),
+                static_cast<size_t>(src.numel()) * sizeof(float));
+    return;
+  }
+  float* cursor = dst;
+  CopyStridedRec(src.base_ptr(), src.shape.dims().data(), src.strides.data(),
+                 src.shape.ndim(), &cursor);
+}
+
+/// Fresh contiguous impl owning a pool-acquired buffer.
+std::shared_ptr<TensorImpl> MakeDenseImpl(
+    Shape shape, std::shared_ptr<std::vector<float>> buffer) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->strides = RowMajorStrides(shape.dims());
+  impl->shape = std::move(shape);
+  impl->storage = std::move(buffer);
+  impl->offset = 0;
+  impl->contiguous = true;
+  return impl;
+}
+
 }  // namespace
 
 bool GradModeEnabled() { return g_grad_mode; }
@@ -24,9 +71,9 @@ Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
-  auto impl = std::make_shared<TensorImpl>();
-  impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(shape.numel()), value);
+  auto buffer = AcquireBuffer(shape.numel());
+  buffer->assign(static_cast<size_t>(shape.numel()), value);
+  auto impl = MakeDenseImpl(shape, std::move(buffer));
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -34,9 +81,8 @@ Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
 Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
                           bool requires_grad) {
   START_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel());
-  auto impl = std::make_shared<TensorImpl>();
-  impl->shape = shape;
-  impl->data = std::move(values);
+  auto impl =
+      MakeDenseImpl(shape, BufferPool::Global().Adopt(std::move(values)));
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -48,17 +94,21 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 Tensor Tensor::Rand(const Shape& shape, common::Rng* rng, float lo, float hi,
                     bool requires_grad) {
   START_CHECK(rng != nullptr);
-  std::vector<float> values(static_cast<size_t>(shape.numel()));
-  for (auto& v : values) v = static_cast<float>(rng->Uniform(lo, hi));
-  return FromVector(shape, std::move(values), requires_grad);
+  auto buffer = AcquireBuffer(shape.numel());
+  for (auto& v : *buffer) v = static_cast<float>(rng->Uniform(lo, hi));
+  auto impl = MakeDenseImpl(shape, std::move(buffer));
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
 }
 
 Tensor Tensor::RandN(const Shape& shape, common::Rng* rng, float mean,
                      float stddev, bool requires_grad) {
   START_CHECK(rng != nullptr);
-  std::vector<float> values(static_cast<size_t>(shape.numel()));
-  for (auto& v : values) v = static_cast<float>(rng->Normal(mean, stddev));
-  return FromVector(shape, std::move(values), requires_grad);
+  auto buffer = AcquireBuffer(shape.numel());
+  for (auto& v : *buffer) v = static_cast<float>(rng->Normal(mean, stddev));
+  auto impl = MakeDenseImpl(shape, std::move(buffer));
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
 }
 
 const Shape& Tensor::shape() const {
@@ -77,21 +127,53 @@ void Tensor::set_requires_grad(bool value) {
   if (value) impl_->AllocGrad();
 }
 
+const std::vector<int64_t>& Tensor::strides() const {
+  START_CHECK(defined());
+  return impl_->strides;
+}
+
+int64_t Tensor::offset() const {
+  START_CHECK(defined());
+  return impl_->offset;
+}
+
+bool Tensor::is_contiguous() const {
+  START_CHECK(defined());
+  return impl_->contiguous;
+}
+
+Tensor Tensor::Contiguous() const {
+  START_CHECK(defined());
+  if (impl_->contiguous) return *this;
+  auto buffer = AcquireBuffer(numel());
+  CopyToDense(*impl_, buffer->data());
+  auto self_impl = impl_;
+  const int64_t n = numel();
+  // The dense copy enumerates elements in logical order, so the gradient
+  // routes back as an identity over the dense logical grad buffers.
+  auto backward = [self_impl, n](TensorImpl& self) {
+    if (!self_impl->requires_grad) return;
+    const float* g = self.grad_ptr();
+    float* ga = self_impl->grad_ptr();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g[i];
+  };
+  return MakeOpResultBuffer(impl_->shape, std::move(buffer), {impl_},
+                            std::move(backward), "contiguous");
+}
+
 float* Tensor::data() {
   START_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data_ptr();
 }
 
 const float* Tensor::data() const {
   START_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data_ptr();
 }
 
 float* Tensor::grad() {
   START_CHECK(defined());
-  START_CHECK_MSG(impl_->grad.size() == impl_->data.size(),
-                  "gradient not allocated for op " << impl_->op);
-  return impl_->grad.data();
+  return impl_->grad_ptr();
 }
 
 const float* Tensor::grad() const {
@@ -100,12 +182,12 @@ const float* Tensor::grad() const {
 
 bool Tensor::has_grad() const {
   START_CHECK(defined());
-  return impl_->grad.size() == impl_->data.size();
+  return impl_->has_grad();
 }
 
 float Tensor::item() const {
   START_CHECK_EQ(numel(), 1);
-  return impl_->data[0];
+  return impl_->base_ptr()[0];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
@@ -117,15 +199,15 @@ float Tensor::at(std::initializer_list<int64_t> idx) const {
   for (int64_t ix : idx) {
     START_CHECK_GE(ix, 0);
     START_CHECK_LT(ix, dims[i]);
-    flat = flat * dims[i] + ix;
+    flat += ix * impl_->strides[i];
     ++i;
   }
-  return impl_->data[static_cast<size_t>(flat)];
+  return impl_->base_ptr()[flat];
 }
 
 void Tensor::ZeroGrad() {
   START_CHECK(defined());
-  impl_->grad.assign(impl_->data.size(), 0.0f);
+  impl_->ResetGrad();
 }
 
 namespace {
@@ -170,12 +252,13 @@ void Tensor::Backward(const std::vector<float>& seed) {
   // repeated backward passes through a retained graph behave like the first.
   for (auto& node : order) {
     if (node->backward_fn) {
-      node->grad.assign(node->data.size(), 0.0f);
+      node->ResetGrad();
     } else {
       node->AllocGrad();
     }
   }
-  for (size_t i = 0; i < seed.size(); ++i) impl_->grad[i] += seed[i];
+  float* g = impl_->grad_ptr();
+  for (size_t i = 0; i < seed.size(); ++i) g[i] += seed[i];
   // Children come after parents in `order`; run backward in reverse.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if ((*it)->backward_fn) (*it)->backward_fn(**it);
@@ -184,21 +267,28 @@ void Tensor::Backward(const std::vector<float>& seed) {
 
 Tensor Tensor::Detach() const {
   START_CHECK(defined());
-  auto impl = std::make_shared<TensorImpl>();
-  impl->shape = impl_->shape;
-  impl->data = impl_->data;
-  impl->requires_grad = false;
-  return Tensor(std::move(impl));
+  auto buffer = AcquireBuffer(numel());
+  CopyToDense(*impl_, buffer->data());
+  return Tensor(MakeDenseImpl(impl_->shape, std::move(buffer)));
 }
 
 Tensor MakeOpResult(Shape shape, std::vector<float> data,
                     std::vector<std::shared_ptr<TensorImpl>> parents,
                     std::function<void(TensorImpl&)> backward_fn,
                     const char* op_name) {
-  START_CHECK_EQ(static_cast<int64_t>(data.size()), shape.numel());
-  auto impl = std::make_shared<TensorImpl>();
-  impl->shape = std::move(shape);
-  impl->data = std::move(data);
+  return MakeOpResultBuffer(std::move(shape),
+                            BufferPool::Global().Adopt(std::move(data)),
+                            std::move(parents), std::move(backward_fn),
+                            op_name);
+}
+
+Tensor MakeOpResultBuffer(Shape shape,
+                          std::shared_ptr<std::vector<float>> data,
+                          std::vector<std::shared_ptr<TensorImpl>> parents,
+                          std::function<void(TensorImpl&)> backward_fn,
+                          const char* op_name) {
+  START_CHECK_EQ(static_cast<int64_t>(data->size()), shape.numel());
+  auto impl = MakeDenseImpl(std::move(shape), std::move(data));
   impl->op = op_name;
   if (GradModeEnabled()) {
     bool any_requires = false;
@@ -208,6 +298,26 @@ Tensor MakeOpResult(Shape shape, std::vector<float> data,
       impl->parents = std::move(parents);
       impl->backward_fn = std::move(backward_fn);
     }
+  }
+  return Tensor(std::move(impl));
+}
+
+Tensor MakeViewResult(Shape shape, std::vector<int64_t> strides,
+                      int64_t offset, const Tensor& base,
+                      std::function<void(TensorImpl&)> backward_fn,
+                      const char* op_name) {
+  START_CHECK(base.defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->contiguous = StridesAreContiguous(shape.dims(), strides);
+  impl->shape = std::move(shape);
+  impl->strides = std::move(strides);
+  impl->storage = base.impl()->storage;
+  impl->offset = offset;
+  impl->op = op_name;
+  if (GradModeEnabled() && base.impl()->requires_grad) {
+    impl->requires_grad = true;
+    impl->parents = {base.impl()};
+    impl->backward_fn = std::move(backward_fn);
   }
   return Tensor(std::move(impl));
 }

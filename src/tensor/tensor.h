@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/shape.h"
 
 namespace start::tensor {
@@ -15,22 +17,64 @@ class Tensor;
 
 /// \brief Storage + autograd node backing a Tensor handle.
 ///
-/// Holds the value buffer, the (lazily allocated) gradient buffer, and the
-/// reverse-mode autograd edges: the parent nodes this value was computed from
-/// and a backward function that reads `grad` and accumulates into the parents'
-/// `grad` buffers.
+/// The value buffer is a shared, pool-recycled storage that may be aliased by
+/// several impls: a view (Reshape / Slice / Transpose / row-gather of a
+/// contiguous run) points into its base's storage through `offset` and
+/// `strides` instead of copying. The gradient buffer is never aliased: it is
+/// always dense row-major over the *logical* extent (`shape`), so backward
+/// functions can use plain logical index arithmetic regardless of how the
+/// value data is laid out.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  ///< Same length as data once AllocGrad() ran.
+  std::shared_ptr<std::vector<float>> storage;  ///< Value buffer (shared by views).
+  std::vector<int64_t> strides;  ///< Element strides, one per dim.
+  int64_t offset = 0;            ///< Element offset of this view into storage.
+  bool contiguous = true;        ///< Cached StridesAreContiguous(shape, strides).
+  std::shared_ptr<std::vector<float>> grad;  ///< Dense logical, numel() floats.
   bool requires_grad = false;
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;
   const char* op = "leaf";
 
-  /// Ensures the gradient buffer exists (zero-filled).
+  int64_t numel() const { return shape.numel(); }
+
+  /// Start of this impl's data within the shared storage. Valid for any
+  /// layout; elements are addressed by adding multiples of `strides`.
+  float* base_ptr() { return storage->data() + offset; }
+  const float* base_ptr() const { return storage->data() + offset; }
+
+  /// Dense row-major data pointer. CHECK-fails on a non-contiguous view (the
+  /// caller should go through Tensor::Contiguous() or a strided kernel).
+  float* data_ptr() {
+    START_CHECK_MSG(contiguous, "non-contiguous view in op " << op);
+    return base_ptr();
+  }
+  const float* data_ptr() const {
+    return const_cast<TensorImpl*>(this)->data_ptr();
+  }
+
+  bool has_grad() const {
+    return grad != nullptr && static_cast<int64_t>(grad->size()) == numel();
+  }
+  float* grad_ptr() {
+    START_CHECK_MSG(has_grad(), "gradient not allocated for op " << op);
+    return grad->data();
+  }
+
+  /// Ensures the gradient buffer exists (zero-filled on first allocation).
   void AllocGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (!has_grad()) {
+      grad = BufferPool::Global().AcquireZeroed(static_cast<size_t>(numel()));
+    }
+  }
+
+  /// Zeroes the gradient buffer, allocating it if needed.
+  void ResetGrad() {
+    if (has_grad()) {
+      grad->assign(grad->size(), 0.0f);
+    } else {
+      grad = BufferPool::Global().AcquireZeroed(static_cast<size_t>(numel()));
+    }
   }
 };
 
@@ -91,6 +135,20 @@ class Tensor {
   /// Marks a leaf tensor as a trainable parameter.
   void set_requires_grad(bool value);
 
+  /// Element strides of this tensor's layout (one per dim).
+  const std::vector<int64_t>& strides() const;
+  /// Element offset into the shared storage.
+  int64_t offset() const;
+  /// True when the layout is dense row-major (data() is legal).
+  bool is_contiguous() const;
+  /// Returns this tensor when contiguous; otherwise a materialised dense
+  /// copy (an autograd op, so gradients flow back through the view).
+  Tensor Contiguous() const;
+
+  /// Dense row-major data pointer. CHECK-fails on a non-contiguous view;
+  /// call Contiguous() first or address elements through strides(). Writes
+  /// through this pointer on a contiguous view are visible to the base
+  /// tensor (and vice versa) — views alias storage, they don't copy it.
   float* data();
   const float* data() const;
   /// Gradient buffer; CHECK-fails when not allocated (call AllocGrad or run
@@ -101,7 +159,7 @@ class Tensor {
 
   /// Value of a 1-element tensor.
   float item() const;
-  /// Element accessor by multi-index (row-major); for tests/debugging.
+  /// Element accessor by multi-index (stride-aware); for tests/debugging.
   float at(std::initializer_list<int64_t> idx) const;
 
   std::shared_ptr<TensorImpl> impl() const { return impl_; }
@@ -117,7 +175,9 @@ class Tensor {
   /// Runs reverse-mode autodiff with an explicit seed gradient (same numel).
   void Backward(const std::vector<float>& seed);
 
-  /// Returns a new leaf tensor sharing no graph edges (data is copied).
+  /// Returns a new leaf tensor sharing no graph edges. Only the viewed
+  /// extent is copied (a Detach of a [2, 4] slice of a huge base tensor
+  /// costs 8 floats), and the result is always contiguous.
   Tensor Detach() const;
 
  private:
@@ -130,6 +190,23 @@ Tensor MakeOpResult(Shape shape, std::vector<float> data,
                     std::vector<std::shared_ptr<TensorImpl>> parents,
                     std::function<void(TensorImpl&)> backward_fn,
                     const char* op_name);
+
+/// Like MakeOpResult but takes a pool-acquired buffer directly, so hot op
+/// kernels can write into recycled storage without an intermediate vector.
+Tensor MakeOpResultBuffer(Shape shape,
+                          std::shared_ptr<std::vector<float>> data,
+                          std::vector<std::shared_ptr<TensorImpl>> parents,
+                          std::function<void(TensorImpl&)> backward_fn,
+                          const char* op_name);
+
+/// Creates a zero-copy view of `base`: the result shares base's storage and
+/// addresses it through (`strides`, `offset` — absolute, in elements of the
+/// storage). `backward_fn` must route the view's dense logical gradient into
+/// base's dense logical gradient. No data is copied.
+Tensor MakeViewResult(Shape shape, std::vector<int64_t> strides,
+                      int64_t offset, const Tensor& base,
+                      std::function<void(TensorImpl&)> backward_fn,
+                      const char* op_name);
 
 }  // namespace start::tensor
 

@@ -274,5 +274,83 @@ TEST(SegmentGradTest, GatComposite) {
        RandT(Shape({4, 4}), 606)});
 }
 
+// ---- Zero-copy view chains -------------------------------------------------
+
+TEST(ViewGradTest, ChainedReshapeSliceTranspose) {
+  // Gradients must flow through a chain of pure views (no materialisation
+  // happens anywhere on this path except the final reduction).
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        const Tensor r = Reshape(in[0], Shape({4, 6}));   // view
+        const Tensor s = Slice(r, 1, 1, 3);               // strided view
+        const Tensor t = Transpose(s);                    // [3,4] view of view
+        return Mean(Mul(t, t));
+      },
+      {RandT(Shape({2, 2, 6}), 700)});
+}
+
+TEST(ViewGradTest, SliceOfSliceAndSelect) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        const Tensor s1 = Slice(in[0], 2, 1, 4);   // [2,3,4] strided view
+        const Tensor s2 = Slice(s1, 1, 0, 2);      // view of a view
+        const Tensor s3 = Select(s2, 0, 1);        // [2,4]
+        return Mean(Mul(s3, s3));
+      },
+      {RandT(Shape({2, 3, 6}), 701)});
+}
+
+TEST(ViewGradTest, MatMulOnTransposeView) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Mean(MatMul(in[0], Transpose(in[1])));  // NT without copy
+      },
+      {RandT(Shape({3, 4}), 702), RandT(Shape({5, 4}), 703)});
+}
+
+TEST(ViewGradTest, MatMulOnTransposedLhs) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Mean(MatMul(Transpose(in[0]), in[1]));  // TN without copy
+      },
+      {RandT(Shape({4, 3}), 704), RandT(Shape({4, 5}), 705)});
+}
+
+TEST(ViewGradTest, BatchMatMulOnHeadSlices) {
+  // The attention pattern: per-head slices of [B,L,D] flow into BMM as
+  // row-strided views on both sides.
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        const Tensor qh = Slice(in[0], 2, 2, 2);
+        const Tensor kh = Slice(in[1], 2, 0, 2);
+        return Mean(BatchMatMul(qh, kh, /*transpose_b=*/true));
+      },
+      {RandT(Shape({2, 3, 4}), 706), RandT(Shape({2, 3, 4}), 707)});
+}
+
+TEST(ViewGradTest, ElementwiseOnStridedViews) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        const Tensor t = Transpose(in[0]);       // [4,3] strided view
+        const Tensor s = Slice(in[1], 1, 1, 3);  // [4,3] strided view
+        return Mean(Mul(Add(t, s), Sigmoid(t)));
+      },
+      {RandT(Shape({3, 4}), 708), RandT(Shape({4, 5}), 709)});
+}
+
+TEST(ViewGradTest, WeightedSumThroughReshapeView) {
+  // Backward through a reshape view accumulates into the base exactly once.
+  Tensor a = RandT(Shape({2, 3}), 710);
+  a.set_requires_grad(true);
+  a.ZeroGrad();
+  Tensor loss = Sum(Mul(Reshape(a, Shape({6})), Reshape(a, Shape({6}))));
+  loss.Backward();
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(a.grad()[i * 3 + j], 2.0f * a.at({i, j}), 1e-5);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace start::tensor

@@ -362,5 +362,146 @@ TEST(AutogradTest, DiamondGraphSumsPaths) {
   EXPECT_FLOAT_EQ(a.grad()[0], 5.0f);
 }
 
+// ---- View semantics & aliasing --------------------------------------------
+
+TEST(ViewTest, ReshapeAliasesStorage) {
+  Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, Shape({3, 2}));
+  EXPECT_EQ(r.impl()->storage, a.impl()->storage);
+  EXPECT_EQ(r.data(), a.data());  // same buffer, no copy
+  EXPECT_TRUE(r.is_contiguous());
+}
+
+TEST(ViewTest, SliceAnyDimIsZeroCopy) {
+  common::Rng rng(77);
+  const Tensor a = Tensor::Rand(Shape({4, 5, 6}), &rng, -1, 1);
+  for (int64_t dim = 0; dim < 3; ++dim) {
+    const Tensor s = Slice(a, dim, 1, 2);
+    EXPECT_EQ(s.impl()->storage, a.impl()->storage) << "dim " << dim;
+    EXPECT_EQ(s.offset(), a.strides()[static_cast<size_t>(dim)]);
+    EXPECT_EQ(s.strides(), a.strides());
+    EXPECT_EQ(s.at({1, 1, 1}),
+              a.at({dim == 0 ? 2 : 1, dim == 1 ? 2 : 1, dim == 2 ? 2 : 1}));
+  }
+  // Only the leading-dim slice stays dense; inner-dim slices are strided.
+  EXPECT_TRUE(Slice(a, 0, 1, 2).is_contiguous());
+  EXPECT_FALSE(Slice(a, 1, 1, 2).is_contiguous());
+  EXPECT_FALSE(Slice(a, 2, 1, 2).is_contiguous());
+}
+
+TEST(ViewTest, TransposeIsZeroCopyStrideSwap) {
+  const Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  const Tensor t = Transpose(a);
+  EXPECT_EQ(t.impl()->storage, a.impl()->storage);
+  EXPECT_FALSE(t.is_contiguous());
+  EXPECT_EQ(t.strides(), (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(t.at({2, 1}), 6.0f);
+  const Tensor dense = t.Contiguous();
+  EXPECT_NE(dense.impl()->storage, a.impl()->storage);
+  EXPECT_TRUE(dense.is_contiguous());
+  EXPECT_EQ(dense.data()[1], 4.0f);  // row-major [3,2]
+}
+
+TEST(ViewTest, SelectDropsDimZeroCopy) {
+  common::Rng rng(78);
+  const Tensor a = Tensor::Rand(Shape({3, 4, 5}), &rng, -1, 1);
+  const Tensor s = Select(a, 1, 2);
+  EXPECT_EQ(s.shape(), Shape({3, 5}));
+  EXPECT_EQ(s.impl()->storage, a.impl()->storage);
+  EXPECT_EQ(s.at({1, 3}), a.at({1, 2, 3}));
+}
+
+TEST(ViewTest, GatherRowsConsecutiveRunIsView) {
+  const Tensor a = Tensor::FromVector(Shape({4, 2}),
+                                      {0, 1, 10, 11, 20, 21, 30, 31});
+  const Tensor g = GatherRows(a, {1, 2, 3});
+  EXPECT_EQ(g.impl()->storage, a.impl()->storage);  // zero-copy row view
+  EXPECT_EQ(g.at({0, 1}), 11.0f);
+  // Non-consecutive indices still copy.
+  const Tensor g2 = GatherRows(a, {2, 0});
+  EXPECT_NE(g2.impl()->storage, a.impl()->storage);
+}
+
+TEST(ViewTest, WritesThroughViewVisibleInBase) {
+  Tensor a = Tensor::Zeros(Shape({4, 3}));
+  Tensor row = Slice(a, 0, 2, 1);  // contiguous [1,3] view of row 2
+  ASSERT_TRUE(row.is_contiguous());
+  row.data()[1] = 42.0f;
+  EXPECT_EQ(a.at({2, 1}), 42.0f);
+  // And base writes are visible through the view.
+  a.data()[2 * 3 + 2] = 7.0f;
+  EXPECT_EQ(row.at({0, 2}), 7.0f);
+}
+
+TEST(ViewTest, ReshapeOfInnerSliceStaysZeroCopy) {
+  // The rnn time-step pattern: Slice dim 1 to length 1, then drop the dim.
+  common::Rng rng(79);
+  const Tensor x = Tensor::Rand(Shape({2, 5, 3}), &rng, -1, 1);
+  const Tensor xt = Reshape(Slice(x, 1, 3, 1), Shape({2, 3}));
+  EXPECT_EQ(xt.impl()->storage, x.impl()->storage);
+  EXPECT_EQ(xt.at({1, 2}), x.at({1, 3, 2}));
+}
+
+TEST(ViewTest, DetachCopiesOnlyViewedExtent) {
+  common::Rng rng(80);
+  const Tensor a = Tensor::Rand(Shape({50, 40}), &rng, -1, 1);
+  const Tensor d = Slice(a, 1, 4, 2).Detach();
+  EXPECT_EQ(d.shape(), Shape({50, 2}));
+  EXPECT_EQ(static_cast<int64_t>(d.impl()->storage->size()), d.numel());
+  EXPECT_NE(d.impl()->storage, a.impl()->storage);
+  EXPECT_TRUE(d.is_contiguous());
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.at({10, 1}), a.at({10, 5}));
+}
+
+TEST(ViewTest, ElementwiseOnStridedViewsMatchesDense) {
+  common::Rng rng(81);
+  const Tensor a = Tensor::Rand(Shape({3, 4}), &rng, -1, 1);
+  const Tensor b = Tensor::Rand(Shape({4, 3}), &rng, -1, 1);
+  // Strided (transpose view) operand vs explicitly materialised operand.
+  const Tensor via_view = Mul(Transpose(a), b);
+  const Tensor via_dense = Mul(Transpose(a).Contiguous(), b);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(via_view.at({i, j}), via_dense.at({i, j}));
+    }
+  }
+}
+
+TEST(ViewTest, MatMulOnTransposeViewMatchesMaterialised) {
+  common::Rng rng(82);
+  const Tensor a = Tensor::Rand(Shape({3, 4}), &rng, -1, 1);
+  const Tensor b = Tensor::Rand(Shape({5, 4}), &rng, -1, 1);
+  const Tensor via_view = MatMul(a, Transpose(b));       // NT fast path
+  const Tensor via_dense = MatMul(a, Transpose(b).Contiguous());
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(via_view.at({i, j}), via_dense.at({i, j}));
+    }
+  }
+}
+
+TEST(BufferPoolTest, RecyclesBuffers) {
+  auto& pool = BufferPool::Global();
+  pool.Trim();
+  const auto before = pool.stats();
+  {
+    auto buf = pool.Acquire(1024);
+    buf->at(0) = 1.0f;
+  }  // released back to the free list
+  auto buf2 = pool.Acquire(1000);  // same power-of-two bucket: must be a hit
+  const auto after = pool.stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.recycled, before.recycled + 1);
+}
+
+TEST(DropoutTest, ExplicitRngIsReproducible) {
+  common::Rng rng_a(123), rng_b(123);
+  const Tensor x = Tensor::Ones(Shape({256}));
+  const Tensor y1 = Dropout(x, 0.5f, /*training=*/true, &rng_a);
+  const Tensor y2 = Dropout(x, 0.5f, /*training=*/true, &rng_b);
+  for (int64_t i = 0; i < 256; ++i) EXPECT_EQ(y1.data()[i], y2.data()[i]);
+}
+
 }  // namespace
 }  // namespace start::tensor
