@@ -1,11 +1,13 @@
 #include "core/pretrain.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "data/batch.h"
-#include "data/span_mask.h"
+#include "data/dataset.h"
+#include "data/loader.h"
 #include "nn/losses.h"
 #include "nn/optimizer.h"
 #include "nn/schedule.h"
@@ -22,121 +24,126 @@ PretrainStats Pretrain(StartModel* model,
   START_CHECK(model != nullptr);
   START_CHECK(!corpus.empty());
   START_CHECK(config.use_mask_task || config.use_contrastive_task);
-  common::Rng rng(config.seed);
   model->SetTraining(true);
+
+  // The coordinator builds the whole multi-epoch plan up front (shuffles and
+  // bucket assignment are epoch-seeded, not consumed from a shared stream),
+  // then the loader's workers assemble step k+1.. while step k trains.
+  data::PlanConfig plan_config;
+  plan_config.batch_size = config.batch_size;
+  plan_config.epochs = config.epochs;
+  plan_config.bucket_by_length = config.bucket_by_length;
+  plan_config.bucket_width = config.bucket_width;
+  plan_config.seed = config.seed;
+  data::PretrainPlan plan =
+      data::MakeShuffledPlan(data::Lengths(corpus), plan_config);
+  const std::vector<int64_t> epoch_of_step = std::move(plan.epoch_of_step);
+  const int64_t total_steps = static_cast<int64_t>(plan.steps.size());
+
+  data::PretrainBatchOptions batch_options;
+  batch_options.use_mask_task = config.use_mask_task;
+  batch_options.use_contrastive_task = config.use_contrastive_task;
+  batch_options.mask_span = config.mask_span;
+  batch_options.mask_ratio = config.mask_ratio;
+  batch_options.aug_a = config.aug_a;
+  batch_options.aug_b = config.aug_b;
+
+  data::LoaderConfig loader_config;
+  loader_config.num_workers = config.num_workers;
+  loader_config.prefetch_depth = config.prefetch_depth;
+  loader_config.seed = config.seed;
+  data::BatchLoader loader(
+      std::move(plan.steps),
+      data::MakePretrainBuilder(&corpus, traffic, batch_options),
+      loader_config);
 
   nn::AdamW opt(model->Parameters(), config.lr, 0.9, 0.999, 1e-8,
                 config.weight_decay);
-  const int64_t steps_per_epoch = std::max<int64_t>(
-      1, static_cast<int64_t>(corpus.size()) / config.batch_size);
-  const int64_t total_steps = steps_per_epoch * config.epochs;
   const nn::WarmupCosineSchedule schedule(
       config.lr,
       static_cast<int64_t>(config.warmup_fraction *
                            static_cast<double>(total_steps)),
       total_steps, config.lr * 0.05);
 
-  data::AugmentationConfig aug_cfg;
+  std::vector<double> loss_sum(static_cast<size_t>(config.epochs), 0.0);
+  std::vector<double> mask_sum(static_cast<size_t>(config.epochs), 0.0);
+  std::vector<double> con_sum(static_cast<size_t>(config.epochs), 0.0);
+  std::vector<int64_t> batch_count(static_cast<size_t>(config.epochs), 0);
+  const auto log_epoch = [&](int64_t epoch) {
+    const auto e = static_cast<size_t>(epoch);
+    const double denom =
+        static_cast<double>(std::max<int64_t>(1, batch_count[e]));
+    START_LOG(Info) << "pretrain epoch " << epoch << " loss "
+                    << loss_sum[e] / denom << " (mask " << mask_sum[e] / denom
+                    << ", con " << con_sum[e] / denom << ")";
+  };
+  int64_t current_epoch = 0;
+
+  data::TrainingBatch tb;
+  while (loader.Next(&tb)) {
+    Tensor loss;
+    double mask_val = 0.0, con_val = 0.0;
+    // Stage 1 once per step: both pretext batches are encoded under the
+    // same parameters, so they share the road representations (gradients
+    // accumulate into the GAT from both graphs).
+    const Tensor road_reps = model->ComputeRoadReps();
+
+    // --- Task 1: span-masked trajectory recovery (Sec. III-C1) -----------
+    if (tb.has_masked && !tb.mask_positions.empty()) {
+      const EncoderOutput out = model->Encode(tb.masked, road_reps);
+      const Tensor logits =
+          model->MaskedLogits(out, tb.mask_positions, tb.masked.max_len);
+      const Tensor mask_loss =
+          tensor::CrossEntropyWithLogits(logits, tb.mask_targets);
+      mask_val = mask_loss.item();
+      loss = tensor::Scale(mask_loss, config.use_contrastive_task
+                                          ? static_cast<float>(config.lambda)
+                                          : 1.0f);
+    }
+
+    // --- Task 2: trajectory contrastive learning (Sec. III-C2) -----------
+    if (tb.has_contrastive) {
+      const EncoderOutput out = model->Encode(tb.contrastive, road_reps);
+      const Tensor con_loss = nn::NtXentLoss(out.cls, config.tau);
+      con_val = con_loss.item();
+      const Tensor scaled = tensor::Scale(
+          con_loss, config.use_mask_task
+                        ? static_cast<float>(1.0 - config.lambda)
+                        : 1.0f);
+      loss = loss.defined() ? tensor::Add(loss, scaled) : scaled;
+    }
+
+    START_CHECK(loss.defined());
+    opt.ZeroGrad();
+    loss.Backward();
+    nn::ClipGradNorm(model->Parameters(), config.grad_clip);
+    opt.set_lr(schedule.LrAt(tb.step));
+    opt.Step();
+
+    // Steps arrive in plan order, so epochs advance monotonically; log each
+    // one as soon as its last batch has trained.
+    const int64_t epoch = epoch_of_step[static_cast<size_t>(tb.step)];
+    if (config.verbose && epoch != current_epoch) {
+      log_epoch(current_epoch);
+      current_epoch = epoch;
+    }
+    const auto e = static_cast<size_t>(epoch);
+    loss_sum[e] += loss.item();
+    mask_sum[e] += mask_val;
+    con_sum[e] += con_val;
+    ++batch_count[e];
+    loader.Recycle(std::move(tb));
+  }
+  if (config.verbose) log_epoch(current_epoch);
+
   PretrainStats stats;
-  int64_t step = 0;
-  std::vector<int64_t> order(corpus.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
-
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
-    rng.Shuffle(&order);
-    double epoch_loss = 0.0, epoch_mask = 0.0, epoch_con = 0.0;
-    int64_t batches = 0;
-    for (int64_t s = 0; s < steps_per_epoch; ++s) {
-      // Assemble the mini-batch of trajectories.
-      std::vector<const traj::Trajectory*> batch;
-      for (int64_t k = 0; k < config.batch_size; ++k) {
-        const int64_t idx =
-            order[static_cast<size_t>((s * config.batch_size + k) %
-                                      static_cast<int64_t>(corpus.size()))];
-        batch.push_back(&corpus[static_cast<size_t>(idx)]);
-      }
-      Tensor loss;
-      double mask_val = 0.0, con_val = 0.0;
-
-      // --- Task 1: span-masked trajectory recovery (Sec. III-C1) ---------
-      if (config.use_mask_task) {
-        std::vector<data::View> views;
-        views.reserve(batch.size());
-        std::vector<data::SpanMaskInfo> infos;
-        for (const auto* t : batch) {
-          data::View v = data::MakeView(*t);
-          infos.push_back(data::ApplySpanMask(&v, config.mask_span,
-                                              config.mask_ratio, &rng));
-          views.push_back(std::move(v));
-        }
-        const data::Batch mb = data::MakeBatch(views);
-        std::vector<int64_t> flat_positions;
-        std::vector<int64_t> targets;
-        for (size_t b = 0; b < infos.size(); ++b) {
-          for (size_t k = 0; k < infos[b].positions.size(); ++k) {
-            flat_positions.push_back(
-                static_cast<int64_t>(b) * mb.max_len + infos[b].positions[k]);
-            targets.push_back(infos[b].targets[k]);
-          }
-        }
-        if (!flat_positions.empty()) {
-          const EncoderOutput out = model->Encode(mb);
-          const Tensor logits =
-              model->MaskedLogits(out, flat_positions, mb.max_len);
-          const Tensor mask_loss =
-              tensor::CrossEntropyWithLogits(logits, targets);
-          mask_val = mask_loss.item();
-          loss = tensor::Scale(mask_loss,
-                               config.use_contrastive_task
-                                   ? static_cast<float>(config.lambda)
-                                   : 1.0f);
-        }
-      }
-
-      // --- Task 2: trajectory contrastive learning (Sec. III-C2) ---------
-      if (config.use_contrastive_task) {
-        std::vector<data::View> views;
-        views.reserve(2 * batch.size());
-        for (const auto* t : batch) {
-          views.push_back(
-              data::Augment(*t, config.aug_a, aug_cfg, traffic, &rng));
-          views.push_back(
-              data::Augment(*t, config.aug_b, aug_cfg, traffic, &rng));
-        }
-        const data::Batch cb = data::MakeBatch(views);
-        const EncoderOutput out = model->Encode(cb);
-        const Tensor con_loss = nn::NtXentLoss(out.cls, config.tau);
-        con_val = con_loss.item();
-        const Tensor scaled = tensor::Scale(
-            con_loss, config.use_mask_task
-                          ? static_cast<float>(1.0 - config.lambda)
-                          : 1.0f);
-        loss = loss.defined() ? tensor::Add(loss, scaled) : scaled;
-      }
-
-      START_CHECK(loss.defined());
-      opt.ZeroGrad();
-      loss.Backward();
-      nn::ClipGradNorm(model->Parameters(), config.grad_clip);
-      opt.set_lr(schedule.LrAt(step));
-      opt.Step();
-      ++step;
-      epoch_loss += loss.item();
-      epoch_mask += mask_val;
-      epoch_con += con_val;
-      ++batches;
-    }
-    stats.epoch_loss.push_back(epoch_loss / static_cast<double>(batches));
-    stats.epoch_mask_loss.push_back(epoch_mask /
-                                    static_cast<double>(batches));
-    stats.epoch_contrastive_loss.push_back(epoch_con /
-                                           static_cast<double>(batches));
-    if (config.verbose) {
-      START_LOG(Info) << "pretrain epoch " << epoch << " loss "
-                      << stats.epoch_loss.back() << " (mask "
-                      << stats.epoch_mask_loss.back() << ", con "
-                      << stats.epoch_contrastive_loss.back() << ")";
-    }
+    const auto e = static_cast<size_t>(epoch);
+    const double denom =
+        static_cast<double>(std::max<int64_t>(1, batch_count[e]));
+    stats.epoch_loss.push_back(loss_sum[e] / denom);
+    stats.epoch_mask_loss.push_back(mask_sum[e] / denom);
+    stats.epoch_contrastive_loss.push_back(con_sum[e] / denom);
   }
   return stats;
 }

@@ -28,6 +28,19 @@ struct PretrainConfig {
   bool use_contrastive_task = true;  ///< false = "w/o Contra" ablation.
   uint64_t seed = 7;
   bool verbose = false;
+
+  // --- Data pipeline (see data/loader.h and ARCHITECTURE.md) -------------
+  /// Augmentation worker threads feeding the prefetch queue; 0 builds every
+  /// batch synchronously on the training thread. Batch contents are bitwise
+  /// identical for every value (per-step seeding), so this is purely a
+  /// throughput knob.
+  int num_workers = 2;
+  /// Assembled-batch bound of the prefetch queue.
+  int64_t prefetch_depth = 4;
+  /// Group similar-length trajectories per batch to cut padding waste.
+  bool bucket_by_length = true;
+  /// Length-bucket granularity (roads per bucket).
+  int64_t bucket_width = 8;
 };
 
 /// \brief Per-epoch telemetry of a pre-training run.

@@ -129,10 +129,14 @@ Tensor StartModel::BuildScoreBias(const data::Batch& batch) const {
 }
 
 EncoderOutput StartModel::Encode(const data::Batch& batch) const {
+  return Encode(batch, ComputeRoadReps());
+}
+
+EncoderOutput StartModel::Encode(const data::Batch& batch,
+                                 const Tensor& road_reps) const {
   const int64_t b = batch.batch_size;
   const int64_t l = batch.max_len;
   const int64_t d = config_.d;
-  const Tensor road_reps = ComputeRoadReps();  // [V, d]
   // Extended lookup table: rows [0, V) are roads, row V the [MASK]
   // embedding, row V+1 a frozen zero row for padding.
   const Tensor zero_row = Tensor::Zeros(Shape({1, d}));

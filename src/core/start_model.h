@@ -39,6 +39,14 @@ class StartModel : public nn::Module {
   /// (kMaskRoad / kPadRoad) select the [MASK] embedding / a zero row.
   EncoderOutput Encode(const data::Batch& batch) const;
 
+  /// Same, but with stage 1 already evaluated: `road_reps` is the
+  /// `ComputeRoadReps()` output. A training step that encodes several
+  /// batches under the same parameters (masked + contrastive) computes the
+  /// road representations once and shares them — gradients flow into the
+  /// GAT from every batch that used the tensor.
+  EncoderOutput Encode(const data::Batch& batch,
+                       const tensor::Tensor& road_reps) const;
+
   /// Masked-recovery logits [num_masked, |V|] for the listed masked slots
   /// ((b, pos) positions are 0-based into the original, CLS-less sequence).
   tensor::Tensor MaskedLogits(const EncoderOutput& out,

@@ -28,6 +28,37 @@ struct Batch {
 /// Pads a list of views into a batch. All views must be non-empty.
 Batch MakeBatch(const std::vector<View>& views);
 
+/// \brief Pads `views` into `*batch`, reusing its existing buffers.
+///
+/// Equivalent to `*batch = MakeBatch(views)` but without freeing and
+/// reallocating the five per-token arrays: `assign`/`resize` reuse capacity,
+/// so a batch that cycles through the prefetch queue settles at the largest
+/// [batch, max_len] extent it has seen and stops allocating. This is the hot
+/// path under the async loader (one call per training step per worker).
+void MakeBatchInto(const std::vector<View>& views, Batch* batch);
+
+/// Fraction of non-padding tokens in a padded batch with these lengths:
+/// sum(lengths) / (n * max(lengths)). 1.0 means zero padding waste.
+double PaddingEfficiency(const std::vector<int64_t>& lengths);
+
+/// \brief Length-bucketed batch assembly.
+///
+/// Walks `order` (a permutation of trajectory indices — typically the
+/// epoch shuffle), routes each index into the bucket
+/// `(lengths[i] - 1) / bucket_width`, and emits a batch whenever a bucket
+/// reaches `batch_size`. Leftovers are flushed at the end, merged across
+/// buckets in ascending length-bucket order so at most one partial batch
+/// remains. Within a batch, indices keep their relative `order` position, so
+/// the result is a deterministic function of (lengths, order, batch_size,
+/// bucket_width).
+///
+/// Batches are emitted in bucket-completion order, which correlates with
+/// length; shuffle the returned plan (e.g. `Rng::Shuffle`) before training on
+/// it so no epoch becomes a length curriculum.
+std::vector<std::vector<int64_t>> BucketBatchPlan(
+    const std::vector<int64_t>& lengths, const std::vector<int64_t>& order,
+    int64_t batch_size, int64_t bucket_width);
+
 }  // namespace start::data
 
 #endif  // START_DATA_BATCH_H_

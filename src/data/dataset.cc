@@ -85,4 +85,11 @@ std::vector<std::vector<int64_t>> TrajDataset::TrainRoadSequences() const {
   return seqs;
 }
 
+std::vector<int64_t> Lengths(const std::vector<traj::Trajectory>& corpus) {
+  std::vector<int64_t> lengths;
+  lengths.reserve(corpus.size());
+  for (const auto& t : corpus) lengths.push_back(t.size());
+  return lengths;
+}
+
 }  // namespace start::data

@@ -47,6 +47,11 @@ class TrajDataset {
   int64_t num_drivers_ = 0;
 };
 
+/// Per-trajectory road counts, in corpus order — the input the length-bucket
+/// batch planner (`BucketBatchPlan`, `MakeShuffledPlan`) keys on. Computed
+/// once per corpus, not per batch.
+std::vector<int64_t> Lengths(const std::vector<traj::Trajectory>& corpus);
+
 }  // namespace start::data
 
 #endif  // START_DATA_DATASET_H_

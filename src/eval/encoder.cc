@@ -2,10 +2,21 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 
 #include "common/check.h"
+#include "data/batch.h"
+#include "data/dataset.h"
 
 namespace start::eval {
+
+namespace {
+/// Inference-time length-bucket granularity: trajectories within 4 roads of
+/// each other share a batch, so almost no attention compute is spent on
+/// padding. Narrower than the training bucket (8) because inference has no
+/// shuffling constraint to respect.
+constexpr int64_t kEmbedBucketWidth = 4;
+}  // namespace
 
 std::vector<float> TrajectoryEncoder::EmbedAll(
     const std::vector<traj::Trajectory>& trajs, EncodeMode mode,
@@ -15,20 +26,30 @@ std::vector<float> TrajectoryEncoder::EmbedAll(
   std::vector<float> out(static_cast<size_t>(n * dim()));
   SetTraining(false);
   tensor::NoGradGuard no_grad;
-  for (int64_t begin = 0; begin < n; begin += batch_size) {
-    const int64_t end = std::min(n, begin + batch_size);
-    std::vector<const traj::Trajectory*> batch;
-    batch.reserve(static_cast<size_t>(end - begin));
-    for (int64_t i = begin; i < end; ++i) {
+  // Length-bucketed batch assembly (data/batch.h): corpus order in, so the
+  // plan — and therefore every embedding — is deterministic; each batch's
+  // rows are scattered back to their original corpus positions below.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  const auto plan = data::BucketBatchPlan(data::Lengths(trajs), order,
+                                          batch_size, kEmbedBucketWidth);
+  std::vector<const traj::Trajectory*> batch;  // reused across batches
+  batch.reserve(static_cast<size_t>(batch_size));
+  for (const auto& step : plan) {
+    batch.clear();
+    for (const int64_t i : step) {
       batch.push_back(&trajs[static_cast<size_t>(i)]);
     }
     // EncodeBatch may hand back a zero-copy view (e.g. the cls-token slice);
     // compact it once here for the flat output buffer.
     const tensor::Tensor reps = EncodeBatch(batch, mode).Contiguous();
-    START_CHECK_EQ(reps.dim(0), end - begin);
+    START_CHECK_EQ(reps.dim(0), static_cast<int64_t>(step.size()));
     START_CHECK_EQ(reps.dim(1), dim());
-    std::memcpy(out.data() + begin * dim(), reps.data(),
-                static_cast<size_t>((end - begin) * dim()) * sizeof(float));
+    for (size_t r = 0; r < step.size(); ++r) {
+      std::memcpy(out.data() + step[r] * dim(),
+                  reps.data() + static_cast<int64_t>(r) * dim(),
+                  static_cast<size_t>(dim()) * sizeof(float));
+    }
   }
   return out;
 }
