@@ -1,7 +1,8 @@
 // Quickstart: build a synthetic city, generate trajectories, pre-train a
-// small START model with the two self-supervised tasks, and use the learned
-// representations for a similarity query — the minimal end-to-end tour of
-// the public API.
+// small START model with the two self-supervised tasks, checkpoint it, and
+// warm-start a *fresh* model from the checkpoint for a similarity query —
+// the minimal end-to-end tour of the public API, including the
+// train-once/serve-many artifact flow.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -62,22 +63,35 @@ int main() {
   std::printf("      %ld parameters\n", model.ParameterCount());
 
   // 4. Pre-train with span-masked recovery + trajectory contrastive
-  //    learning (Sec. III-C).
+  //    learning (Sec. III-C), checkpointing the result. The checkpoint is a
+  //    full training checkpoint: re-running this binary after an
+  //    interruption would resume mid-plan (set pretrain_config.resume).
   std::printf("[4/5] self-supervised pre-training...\n");
+  const std::string checkpoint = "/tmp/start_quickstart.sttn";
   core::PretrainConfig pretrain_config;
   pretrain_config.epochs = 6;
   pretrain_config.batch_size = 16;
   pretrain_config.lr = 2e-3;
   pretrain_config.verbose = true;
+  pretrain_config.checkpoint_path = checkpoint;
   const auto stats =
       core::Pretrain(&model, dataset.train(), &traffic, pretrain_config);
   std::printf("      final loss %.4f (mask %.4f, contrastive %.4f)\n",
               stats.epoch_loss.back(), stats.epoch_mask_loss.back(),
               stats.epoch_contrastive_loss.back());
+  std::printf("      checkpoint written to %s\n", checkpoint.c_str());
 
-  // 5. Use frozen representations for a most-similar trajectory query.
-  std::printf("[5/5] similarity query with frozen embeddings...\n");
-  core::StartEncoder encoder(&model);
+  // 5. Warm-start a *fresh* model from the checkpoint — the serving-side
+  //    flow: no retraining, just load the artifact — and run a most-similar
+  //    trajectory query on its frozen representations.
+  std::printf("[5/5] similarity query from the checkpointed artifact...\n");
+  common::Rng serving_rng(99);  // init values are irrelevant; overwritten
+  core::StartModel served_model(model_config, &net, &transfer, &serving_rng);
+  core::StartEncoder encoder(&served_model);
+  if (const auto st = encoder.WarmStart(checkpoint); !st.ok()) {
+    std::fprintf(stderr, "warm-start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
   std::vector<traj::Trajectory> database(dataset.test().begin(),
                                          dataset.test().end());
   const traj::Trajectory query = database.front();

@@ -3,6 +3,7 @@
 // city. Possible because TPE-GAT parameters are independent of the number
 // of road segments; only |V|-bound tensors (the MLM head) stay behind.
 #include <cstdio>
+#include <string>
 
 #include "core/pretrain.h"
 #include "core/start_encoder.h"
@@ -55,12 +56,18 @@ core::StartConfig ModelConfig() {
   return config;
 }
 
-double EvalEta(core::StartModel* model, const City& city) {
+// Fine-tunes ETA on `city`. When `checkpoint` is non-empty the encoder is
+// warm-started from it first (skip_mismatched leaves |V|-bound tensors — the
+// MLM head — freshly initialised, since they cannot move between networks).
+double EvalEta(core::StartModel* model, const City& city,
+               const std::string& checkpoint = "") {
   core::StartEncoder encoder(model);
   eval::TaskConfig task;
   task.epochs = 6;
   task.batch_size = 32;
   task.lr = 2e-3;
+  task.encoder_checkpoint = checkpoint;
+  task.checkpoint_skip_mismatched = true;
   return eval::FinetuneEta(&encoder, city.dataset->train(),
                            city.dataset->test(), task)
       .metrics.mape;
@@ -85,31 +92,28 @@ int main() {
                            &rng_a);
   const double scratch_mape = EvalEta(&scratch, target);
 
-  // Transfer: pre-train on the source, carry the |V|-independent weights.
+  // Transfer: pre-train on the source with checkpointing; the artifact is
+  // then consumed by fine-tuning on the target without retraining. The
+  // pretrainer writes the checkpoint itself (it is also the resume point if
+  // this run is interrupted — rerun with pretrain.resume = true).
   std::printf("pre-training on the source city...\n");
   common::Rng rng_b(2);
   core::StartModel pretrained(ModelConfig(), &source.net,
                               source.transfer.get(), &rng_b);
+  const std::string checkpoint = "/tmp/start_transfer_example.sttn";
   core::PretrainConfig pretrain;
   pretrain.epochs = 10;
   pretrain.batch_size = 16;
   pretrain.lr = 2e-3;
+  pretrain.checkpoint_path = checkpoint;
   core::Pretrain(&pretrained, source.dataset->train(), source.traffic.get(),
                  pretrain);
-  const std::string checkpoint = "/tmp/start_transfer_example.sttn";
-  if (const auto st = pretrained.Save(checkpoint); !st.ok()) {
-    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  // Fine-tuning warm-starts from the checkpoint (TaskConfig's
+  // encoder_checkpoint), carrying the |V|-independent weights to the target.
   common::Rng rng_c(3);
   core::StartModel transferred(ModelConfig(), &target.net,
                                target.transfer.get(), &rng_c);
-  // skip_mismatched leaves the |V|-bound MLM head freshly initialised.
-  if (const auto st = transferred.Load(checkpoint, false, true); !st.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  const double transfer_mape = EvalEta(&transferred, target);
+  const double transfer_mape = EvalEta(&transferred, target, checkpoint);
 
   std::printf("\nETA on the small target city:\n");
   std::printf("  random init + fine-tune : MAPE %.2f%%\n", scratch_mape);

@@ -41,6 +41,9 @@ class SequenceBaseline : public nn::Module, public eval::TrajectoryEncoder {
   void SetTraining(bool training) override {
     nn::Module::SetTraining(training);
   }
+  void SetDropoutRng(common::Rng* rng) override {
+    nn::Module::SetDropoutRng(rng);
+  }
   std::vector<tensor::Tensor> TrainableParameters() override {
     return Parameters();
   }

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 
@@ -116,6 +117,23 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
 Rng Rng::Fork() {
   Rng child(Next() ^ 0xa02bdbf7bb3c0a7ULL);
   return child;
+}
+
+std::vector<uint64_t> Rng::GetState() const {
+  std::vector<uint64_t> out(state_, state_ + 4);
+  out.push_back(have_cached_normal_ ? 1 : 0);
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(cached_normal_));
+  std::memcpy(&bits, &cached_normal_, sizeof(bits));
+  out.push_back(bits);
+  return out;
+}
+
+void Rng::SetState(const std::vector<uint64_t>& state) {
+  START_CHECK_EQ(state.size(), 6u);
+  for (int i = 0; i < 4; ++i) state_[i] = state[static_cast<size_t>(i)];
+  have_cached_normal_ = state[4] != 0;
+  std::memcpy(&cached_normal_, &state[5], sizeof(cached_normal_));
 }
 
 Rng& GlobalRng() {

@@ -62,6 +62,16 @@ class Rng {
   /// Forks an independent child generator (stream split by hashing the state).
   Rng Fork();
 
+  /// Serialises the full generator state (xoshiro words + the Box-Muller
+  /// cache) so a checkpointed training run can resume its random stream at
+  /// the exact cursor where it stopped. The layout is 6 words:
+  /// state[0..3], have_cached_normal, bit pattern of cached_normal.
+  std::vector<uint64_t> GetState() const;
+
+  /// Restores a state captured by GetState(). The next draw after SetState
+  /// is bitwise identical to the draw the captured generator would have made.
+  void SetState(const std::vector<uint64_t>& state);
+
  private:
   uint64_t state_[4];
   bool have_cached_normal_ = false;

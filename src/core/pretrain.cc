@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "core/checkpoint.h"
 #include "data/batch.h"
 #include "data/dataset.h"
 #include "data/loader.h"
@@ -16,6 +18,17 @@
 namespace start::core {
 
 using tensor::Tensor;
+
+namespace {
+
+/// Salt separating the dropout stream from the loader's augmentation stream:
+/// both are derived per step from the run seed via StepSeed, but must never
+/// collide. Reseeding dropout per step makes every optimizer step a pure
+/// function of (parameters, optimizer state, step index), which is what lets
+/// a resumed run replay the exact masks of an uninterrupted one.
+constexpr uint64_t kDropoutStreamSalt = 0x5eedD120F0D7ULL;
+
+}  // namespace
 
 PretrainStats Pretrain(StartModel* model,
                        const std::vector<traj::Trajectory>& corpus,
@@ -35,8 +48,9 @@ PretrainStats Pretrain(StartModel* model,
   plan_config.bucket_by_length = config.bucket_by_length;
   plan_config.bucket_width = config.bucket_width;
   plan_config.seed = config.seed;
+  const std::vector<int64_t> corpus_lengths = data::Lengths(corpus);
   data::PretrainPlan plan =
-      data::MakeShuffledPlan(data::Lengths(corpus), plan_config);
+      data::MakeShuffledPlan(corpus_lengths, plan_config);
   const std::vector<int64_t> epoch_of_step = std::move(plan.epoch_of_step);
   const int64_t total_steps = static_cast<int64_t>(plan.steps.size());
 
@@ -48,15 +62,6 @@ PretrainStats Pretrain(StartModel* model,
   batch_options.aug_a = config.aug_a;
   batch_options.aug_b = config.aug_b;
 
-  data::LoaderConfig loader_config;
-  loader_config.num_workers = config.num_workers;
-  loader_config.prefetch_depth = config.prefetch_depth;
-  loader_config.seed = config.seed;
-  data::BatchLoader loader(
-      std::move(plan.steps),
-      data::MakePretrainBuilder(&corpus, traffic, batch_options),
-      loader_config);
-
   nn::AdamW opt(model->Parameters(), config.lr, 0.9, 0.999, 1e-8,
                 config.weight_decay);
   const nn::WarmupCosineSchedule schedule(
@@ -65,22 +70,109 @@ PretrainStats Pretrain(StartModel* model,
                            static_cast<double>(total_steps)),
       total_steps, config.lr * 0.05);
 
-  std::vector<double> loss_sum(static_cast<size_t>(config.epochs), 0.0);
-  std::vector<double> mask_sum(static_cast<size_t>(config.epochs), 0.0);
-  std::vector<double> con_sum(static_cast<size_t>(config.epochs), 0.0);
-  std::vector<int64_t> batch_count(static_cast<size_t>(config.epochs), 0);
+  // The header tag identifies the model architecture (any consumer of the
+  // artifact checks it); the plan hash additionally pins everything
+  // MakeShuffledPlan's output depends on — epochs, batch size, bucketing,
+  // seed, and the full length profile of the corpus — so a resume under a
+  // different step plan is refused up front.
+  const uint64_t config_hash = HashStartConfig(model->config());
+  uint64_t plan_hash = HashCombine(config_hash, 0x9e3779b97f4a7c15ULL);
+  plan_hash = HashCombine(plan_hash, static_cast<uint64_t>(config.epochs));
+  plan_hash = HashCombine(plan_hash, static_cast<uint64_t>(config.batch_size));
+  plan_hash = HashCombine(plan_hash, config.bucket_by_length ? 1 : 0);
+  plan_hash = HashCombine(plan_hash, static_cast<uint64_t>(config.bucket_width));
+  plan_hash = HashCombine(plan_hash, config.seed);
+  plan_hash = HashCombine(plan_hash, corpus_lengths.size());
+  for (const int64_t length : corpus_lengths) {
+    plan_hash = HashCombine(plan_hash, static_cast<uint64_t>(length));
+  }
+
+  // Trainer state doubles as the live accumulator set: the loss sums below
+  // are exactly what a checkpoint persists, so a resumed run's epoch trace
+  // continues from the same partial sums.
+  TrainerState state;
+  state.loss_sum.assign(static_cast<size_t>(config.epochs), 0.0);
+  state.mask_sum.assign(static_cast<size_t>(config.epochs), 0.0);
+  state.con_sum.assign(static_cast<size_t>(config.epochs), 0.0);
+  state.batch_count.assign(static_cast<size_t>(config.epochs), 0);
+
+  int64_t start_step = 0;
+  if (config.resume && !config.checkpoint_path.empty() &&
+      CheckpointExists(config.checkpoint_path)) {
+    auto resumed = LoadTrainingCheckpoint(config.checkpoint_path, model, &opt,
+                                          config_hash, plan_hash);
+    if (resumed.ok()) {
+      state = std::move(*resumed);
+      start_step = state.next_step;
+      START_CHECK_LE(start_step, total_steps);
+      START_CHECK_EQ(static_cast<int64_t>(state.loss_sum.size()),
+                     config.epochs);
+      if (state.schedule_fingerprint != 0 &&
+          state.schedule_fingerprint != schedule.Fingerprint()) {
+        START_LOG(Warning)
+            << "resume: LR schedule differs from the checkpointed run "
+               "(total_steps/lr changed?) — the LR trajectory will diverge";
+      }
+      START_LOG(Info) << "resuming pretrain from step " << start_step << "/"
+                      << total_steps << " (" << config.checkpoint_path << ")";
+    } else {
+      START_LOG(Warning) << "cannot resume from " << config.checkpoint_path
+                         << ": " << resumed.status().ToString()
+                         << " — training from scratch";
+    }
+  }
+
+  data::LoaderConfig loader_config;
+  loader_config.num_workers = config.num_workers;
+  loader_config.prefetch_depth = config.prefetch_depth;
+  loader_config.seed = config.seed;
+  loader_config.start_step = start_step;
+  data::BatchLoader loader(
+      std::move(plan.steps),
+      data::MakePretrainBuilder(&corpus, traffic, batch_options),
+      loader_config);
+
   const auto log_epoch = [&](int64_t epoch) {
     const auto e = static_cast<size_t>(epoch);
     const double denom =
-        static_cast<double>(std::max<int64_t>(1, batch_count[e]));
+        static_cast<double>(std::max<int64_t>(1, state.batch_count[e]));
     START_LOG(Info) << "pretrain epoch " << epoch << " loss "
-                    << loss_sum[e] / denom << " (mask " << mask_sum[e] / denom
-                    << ", con " << con_sum[e] / denom << ")";
+                    << state.loss_sum[e] / denom << " (mask "
+                    << state.mask_sum[e] / denom << ", con "
+                    << state.con_sum[e] / denom << ")";
   };
-  int64_t current_epoch = 0;
+  int64_t current_epoch =
+      start_step < total_steps
+          ? epoch_of_step[static_cast<size_t>(start_step)]
+          : std::max<int64_t>(0, config.epochs - 1);
 
+  // Every step draws its dropout masks from a stream reseeded with the
+  // step's private seed (mirroring the loader's determinism contract), so an
+  // uninterrupted run and a checkpoint-resumed run sample identical masks.
+  common::Rng dropout_rng(config.seed);
+  model->SetDropoutRng(&dropout_rng);
+
+  const auto save_checkpoint = [&](int64_t next_step) {
+    state.next_step = next_step;
+    state.adam_step = opt.step_count();
+    state.schedule_fingerprint = schedule.Fingerprint();
+    state.plan_hash = plan_hash;
+    state.rng_state = dropout_rng.GetState();
+    const auto st = SaveTrainingCheckpoint(config.checkpoint_path, *model,
+                                           opt, state, config_hash);
+    if (!st.ok()) {
+      START_LOG(Warning) << "checkpoint save failed: " << st.ToString();
+    } else if (config.verbose) {
+      START_LOG(Info) << "checkpointed step " << next_step << " -> "
+                      << config.checkpoint_path;
+    }
+  };
+
+  int64_t steps_done = 0;
   data::TrainingBatch tb;
   while (loader.Next(&tb)) {
+    dropout_rng.Seed(data::BatchLoader::StepSeed(
+        config.seed ^ kDropoutStreamSalt, tb.step));
     Tensor loss;
     double mask_val = 0.0, con_val = 0.0;
     // Stage 1 once per step: both pretext batches are encoded under the
@@ -128,22 +220,34 @@ PretrainStats Pretrain(StartModel* model,
       current_epoch = epoch;
     }
     const auto e = static_cast<size_t>(epoch);
-    loss_sum[e] += loss.item();
-    mask_sum[e] += mask_val;
-    con_sum[e] += con_val;
-    ++batch_count[e];
+    state.loss_sum[e] += loss.item();
+    state.mask_sum[e] += mask_val;
+    state.con_sum[e] += con_val;
+    ++state.batch_count[e];
+
+    ++steps_done;
+    const bool hit_max = config.max_steps > 0 && steps_done >= config.max_steps;
+    const bool last_step = tb.step + 1 == total_steps;
+    if (!config.checkpoint_path.empty() &&
+        (hit_max || last_step ||
+         (config.checkpoint_every_steps > 0 &&
+          steps_done % config.checkpoint_every_steps == 0))) {
+      save_checkpoint(tb.step + 1);
+    }
     loader.Recycle(std::move(tb));
+    if (hit_max) break;  // simulated interruption; loader shuts down cleanly
   }
+  model->SetDropoutRng(nullptr);  // the stream above is about to go away
   if (config.verbose) log_epoch(current_epoch);
 
   PretrainStats stats;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     const auto e = static_cast<size_t>(epoch);
     const double denom =
-        static_cast<double>(std::max<int64_t>(1, batch_count[e]));
-    stats.epoch_loss.push_back(loss_sum[e] / denom);
-    stats.epoch_mask_loss.push_back(mask_sum[e] / denom);
-    stats.epoch_contrastive_loss.push_back(con_sum[e] / denom);
+        static_cast<double>(std::max<int64_t>(1, state.batch_count[e]));
+    stats.epoch_loss.push_back(state.loss_sum[e] / denom);
+    stats.epoch_mask_loss.push_back(state.mask_sum[e] / denom);
+    stats.epoch_contrastive_loss.push_back(state.con_sum[e] / denom);
   }
   return stats;
 }

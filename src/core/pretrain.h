@@ -41,6 +41,24 @@ struct PretrainConfig {
   bool bucket_by_length = true;
   /// Length-bucket granularity (roads per bucket).
   int64_t bucket_width = 8;
+
+  // --- Checkpointing (see core/checkpoint.h and ARCHITECTURE.md) ----------
+  /// When non-empty, a full training checkpoint (parameters + AdamW slots +
+  /// trainer bookkeeping) is written here at the end of the run and every
+  /// `checkpoint_every_steps` optimizer steps. The file doubles as the model
+  /// artifact: eval::TrajectoryEncoder::WarmStart and the fine-tuning tasks
+  /// load it directly — no retraining.
+  std::string checkpoint_path;
+  /// Periodic checkpoint cadence in optimizer steps; 0 = final-only.
+  int64_t checkpoint_every_steps = 0;
+  /// Resume from `checkpoint_path` when it holds a training checkpoint. The
+  /// resumed run replays the loader's StepSeed stream and the per-step
+  /// dropout seeds from the saved cursor, so it is bitwise identical to a
+  /// never-interrupted run (tests/core_pretrain_test.cc asserts this).
+  bool resume = false;
+  /// Stop after this many optimizer steps past the resume point (0 = run the
+  /// whole plan). Simulates interruption; pair with `checkpoint_path`.
+  int64_t max_steps = 0;
 };
 
 /// \brief Per-epoch telemetry of a pre-training run.

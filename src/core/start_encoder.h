@@ -1,6 +1,7 @@
 #ifndef START_CORE_START_ENCODER_H_
 #define START_CORE_START_ENCODER_H_
 
+#include <string>
 #include <vector>
 
 #include "core/start_model.h"
@@ -12,6 +13,13 @@ namespace start::core {
 /// data views per encode mode (full timestamps for pre-training/similarity;
 /// departure-only for the ETA protocol) and returns the [CLS] pooled
 /// representation.
+///
+/// In inference mode (training off, gradients off — the EmbedAll path) the
+/// stage-1 road representations are computed once and cached: they depend
+/// only on the parameters, so re-deriving the whole TPE-GAT forward per
+/// batch was pure waste. Any parameter mutation routed through this adapter
+/// (SetTraining, WarmStart) invalidates the cache; mutations done behind its
+/// back require an explicit InvalidateRoadReps().
 class StartEncoder : public eval::TrajectoryEncoder {
  public:
   /// Does not take ownership; `model` must outlive the encoder.
@@ -27,12 +35,30 @@ class StartEncoder : public eval::TrajectoryEncoder {
     return model_->Parameters();
   }
 
-  void SetTraining(bool training) override { model_->SetTraining(training); }
+  void SetTraining(bool training) override {
+    model_->SetTraining(training);
+    InvalidateRoadReps();
+  }
+
+  void SetDropoutRng(common::Rng* rng) override {
+    model_->SetDropoutRng(rng);
+  }
+
+  /// Loads model parameters from a checkpoint written by core::Pretrain or
+  /// SaveModelCheckpoint — the warm-start path that replaces retraining.
+  common::Status WarmStart(const std::string& checkpoint_path,
+                           bool allow_missing = false,
+                           bool skip_mismatched = false) override;
+
+  /// Drops the cached road representations; the next inference-mode encode
+  /// recomputes them from the current parameters.
+  void InvalidateRoadReps() { cached_road_reps_ = tensor::Tensor(); }
 
   StartModel* model() { return model_; }
 
  private:
   StartModel* model_;
+  tensor::Tensor cached_road_reps_;  ///< Detached; inference mode only.
 };
 
 }  // namespace start::core

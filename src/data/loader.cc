@@ -24,7 +24,11 @@ BatchLoader::BatchLoader(std::vector<std::vector<int64_t>> plan,
   START_CHECK(builder_ != nullptr);
   START_CHECK_GE(config_.num_workers, 0);
   START_CHECK_GE(config_.prefetch_depth, 1);
+  START_CHECK_GE(config_.start_step, 0);
+  START_CHECK_LE(config_.start_step, total_steps());
   for (const auto& step : plan_) START_CHECK(!step.empty());
+  next_ticket_.store(config_.start_step, std::memory_order_relaxed);
+  next_ = config_.start_step;
   if (config_.num_workers > 0) {
     pool_ = std::make_unique<common::ThreadPool>(config_.num_workers);
     for (int w = 0; w < config_.num_workers; ++w) {

@@ -52,6 +52,13 @@ struct LoaderConfig {
   int64_t prefetch_depth = 4;
   /// Base seed; expanded per step via `BatchLoader::StepSeed`.
   uint64_t seed = 7;
+  /// First plan step to deliver; steps before it are skipped entirely (no
+  /// builder invocation, no RNG draws). This is the loader's resume cursor: a
+  /// checkpointed run that stopped after consuming step s-1 restarts with
+  /// `start_step = s` and receives the exact batch stream the uninterrupted
+  /// run would have seen from step s on (per-step seeding makes the skipped
+  /// prefix irrelevant to later steps).
+  int64_t start_step = 0;
 };
 
 /// \brief Multi-worker prefetching batch loader.

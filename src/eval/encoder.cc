@@ -29,6 +29,10 @@ std::vector<float> TrajectoryEncoder::EmbedAll(
   // Length-bucketed batch assembly (data/batch.h): corpus order in, so the
   // plan — and therefore every embedding — is deterministic; each batch's
   // rows are scattered back to their original corpus positions below.
+  // Inference mode also lets encoders hoist per-artifact work out of the
+  // per-batch loop: StartEncoder caches its stage-1 road representations
+  // behind the loaded checkpoint handle instead of re-deriving them on
+  // every EncodeBatch call.
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   const auto plan = data::BucketBatchPlan(data::Lengths(trajs), order,

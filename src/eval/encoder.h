@@ -2,8 +2,10 @@
 #define START_EVAL_ENCODER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 #include "traj/trajectory.h"
 
@@ -38,6 +40,29 @@ class TrajectoryEncoder {
 
   /// Toggles dropout etc.
   virtual void SetTraining(bool training) = 0;
+
+  /// Sets the generator used for dropout mask sampling (see
+  /// nn::Module::SetDropoutRng); the fine-tuning tasks seed one from
+  /// TaskConfig::seed so a fine-tune run is reproducible regardless of what
+  /// consumed the global stream before it. Default: no-op (encoders without
+  /// dropout). Pass nullptr to fall back to common::GlobalRng().
+  virtual void SetDropoutRng(common::Rng* rng) { (void)rng; }
+
+  /// Warm-starts the encoder from a pre-trained checkpoint instead of
+  /// training from scratch (see core/checkpoint.h). `allow_missing` /
+  /// `skip_mismatched` mirror Module::Load: a fine-tuning model may add a
+  /// head the checkpoint lacks, and |V|-bound tensors cannot move between
+  /// road networks. Default: not supported by this encoder. (Defined inline
+  /// so this interface keeps no out-of-line virtuals — core implements
+  /// adapters against it and must not need eval's objects at link time.)
+  virtual common::Status WarmStart(const std::string& checkpoint_path,
+                                   bool allow_missing = false,
+                                   bool skip_mismatched = false) {
+    (void)allow_missing;
+    (void)skip_mismatched;
+    return common::Status::Unimplemented(
+        "this encoder cannot load checkpoints (" + checkpoint_path + ")");
+  }
 
   /// Convenience: embeds a corpus without gradients; row-major [n, dim].
   std::vector<float> EmbedAll(const std::vector<traj::Trajectory>& trajs,

@@ -28,6 +28,17 @@ std::vector<const traj::Trajectory*> MakeBatchPtrs(
   return out;
 }
 
+/// Warm-starts the encoder from the configured checkpoint before any
+/// fine-tuning step runs. A missing/corrupt artifact is a programming error
+/// at this layer (callers gate on CheckpointExists when it is optional).
+void MaybeWarmStart(TrajectoryEncoder* encoder, const TaskConfig& config) {
+  if (config.encoder_checkpoint.empty()) return;
+  const auto st =
+      encoder->WarmStart(config.encoder_checkpoint, /*allow_missing=*/false,
+                         config.checkpoint_skip_mismatched);
+  START_CHECK_MSG(st.ok(), "encoder warm-start failed: " << st.ToString());
+}
+
 }  // namespace
 
 EtaResult FinetuneEta(TrajectoryEncoder* encoder,
@@ -37,8 +48,13 @@ EtaResult FinetuneEta(TrajectoryEncoder* encoder,
   START_CHECK(encoder != nullptr);
   START_CHECK(!train.empty());
   START_CHECK(!test.empty());
+  MaybeWarmStart(encoder, config);
   common::Rng rng(config.seed);
   common::Rng head_rng = rng.Fork();
+  // Dropout draws from a run-private stream, so the fine-tune trajectory is
+  // a pure function of (encoder state, data, config.seed).
+  common::Rng dropout_rng = rng.Fork();
+  encoder->SetDropoutRng(&dropout_rng);
   nn::Linear head(encoder->dim(), 1, &head_rng);
 
   // Standardise the target (minutes) over the training split.
@@ -124,6 +140,7 @@ EtaResult FinetuneEta(TrajectoryEncoder* encoder,
   }
   result.metrics =
       ComputeRegressionMetrics(result.true_minutes, result.pred_minutes);
+  encoder->SetDropoutRng(nullptr);  // the run-private stream goes away now
   return result;
 }
 
@@ -133,8 +150,12 @@ ClassificationResult FinetuneClassification(
     int64_t num_classes, int64_t recall_k, const TaskConfig& config) {
   START_CHECK(encoder != nullptr);
   START_CHECK_GT(num_classes, 1);
+  MaybeWarmStart(encoder, config);
   common::Rng rng(config.seed);
   common::Rng head_rng = rng.Fork();
+  // See FinetuneEta: run-private dropout stream for reproducibility.
+  common::Rng dropout_rng = rng.Fork();
+  encoder->SetDropoutRng(&dropout_rng);
   nn::Linear head(encoder->dim(), num_classes, &head_rng);
 
   std::vector<Tensor> params = head.Parameters();
@@ -217,6 +238,7 @@ ClassificationResult FinetuneClassification(
     result.f1 = BinaryF1(result.labels, result.predictions);
     result.auc = BinaryAuc(result.labels, pos_scores);
   }
+  encoder->SetDropoutRng(nullptr);  // the run-private stream goes away now
   return result;
 }
 

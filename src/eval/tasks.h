@@ -22,6 +22,15 @@ struct TaskConfig {
   /// When false, the encoder is frozen and only the head is trained (used by
   /// linear-probe style experiments).
   bool finetune_encoder = true;
+  /// When non-empty, the encoder is warm-started from this checkpoint (a
+  /// core::Pretrain artifact) before fine-tuning, instead of whatever state
+  /// it happens to be in — the Sec. III-D protocol of consuming the
+  /// pre-trained encoder, without re-running pre-training.
+  std::string encoder_checkpoint;
+  /// Passed to TrajectoryEncoder::WarmStart: leave |V|-bound tensors (e.g.
+  /// the MLM head) at their fresh values when the checkpoint comes from a
+  /// different road network (cross-city transfer, Table III).
+  bool checkpoint_skip_mismatched = false;
 };
 
 /// \brief Result of the travel-time-estimation task (Sec. III-D1).

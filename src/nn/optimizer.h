@@ -22,6 +22,11 @@ class Optimizer {
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
 
+  /// The parameter list this optimizer updates, in construction order (the
+  /// same order as Module::Parameters() when built from one). Checkpointing
+  /// uses this to pair slot buffers with parameter names.
+  const std::vector<tensor::Tensor>& params() const { return params_; }
+
  protected:
   std::vector<tensor::Tensor> params_;
   double lr_ = 1e-3;
@@ -33,6 +38,13 @@ class Sgd : public Optimizer {
   Sgd(std::vector<tensor::Tensor> params, double lr, double momentum = 0.0);
 
   void Step() override;
+
+  /// Momentum buffers, one per parameter (empty when momentum == 0); exposed
+  /// mutable so checkpoint restore can write the saved slots back.
+  std::vector<std::vector<float>>& velocity() { return velocity_; }
+  const std::vector<std::vector<float>>& velocity() const {
+    return velocity_;
+  }
 
  private:
   double momentum_;
@@ -46,6 +58,18 @@ class AdamW : public Optimizer {
         double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.01);
 
   void Step() override;
+
+  /// Update count driving bias correction; settable so a resumed run
+  /// continues the correction schedule exactly where it stopped.
+  int64_t step_count() const { return t_; }
+  void set_step_count(int64_t t) { t_ = t; }
+
+  /// First/second-moment slot buffers, one per parameter in params() order;
+  /// exposed mutable so checkpoint restore can write the saved slots back.
+  std::vector<std::vector<float>>& moment1() { return m_; }
+  const std::vector<std::vector<float>>& moment1() const { return m_; }
+  std::vector<std::vector<float>>& moment2() { return v_; }
+  const std::vector<std::vector<float>>& moment2() const { return v_; }
 
  private:
   double beta1_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 
@@ -17,6 +18,24 @@ WarmupCosineSchedule::WarmupCosineSchedule(double base_lr,
   START_CHECK_GE(warmup_steps, 0);
   START_CHECK_GT(total_steps, 0);
   START_CHECK_LE(warmup_steps, total_steps);
+}
+
+uint64_t WarmupCosineSchedule::Fingerprint() const {
+  // FNV-1a over the raw parameter words; any change to the schedule shape
+  // changes the fingerprint.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](uint64_t word) {
+    h ^= word;
+    h *= 0x100000001b3ULL;
+  };
+  uint64_t bits = 0;
+  std::memcpy(&bits, &base_lr_, sizeof(bits));
+  mix(bits);
+  mix(static_cast<uint64_t>(warmup_steps_));
+  mix(static_cast<uint64_t>(total_steps_));
+  std::memcpy(&bits, &min_lr_, sizeof(bits));
+  mix(bits);
+  return h;
 }
 
 double WarmupCosineSchedule::LrAt(int64_t step) const {

@@ -18,6 +18,15 @@ class WarmupCosineSchedule {
   /// Learning rate for 0-based step `step`.
   double LrAt(int64_t step) const;
 
+  /// Hash of the schedule's parameters. Stored in training checkpoints so a
+  /// resume can detect that the LR trajectory it is about to continue is not
+  /// the one the checkpoint was trained under (e.g. total_steps changed) —
+  /// the step cursor alone cannot catch that.
+  uint64_t Fingerprint() const;
+
+  int64_t warmup_steps() const { return warmup_steps_; }
+  int64_t total_steps() const { return total_steps_; }
+
  private:
   double base_lr_;
   int64_t warmup_steps_;

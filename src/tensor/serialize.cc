@@ -11,7 +11,19 @@ namespace start::tensor {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'T', 'T', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kLegacyVersion = 1;  ///< Tensors only, no CRC, no tag.
+constexpr uint32_t kVersion = 2;
+
+// Record kinds of the v2 container.
+enum RecordKind : uint8_t {
+  kTensorF32 = 0,
+  kArrayF64 = 1,
+  kArrayI64 = 2,
+  kArrayU64 = 3,
+};
+
+constexpr int64_t kMaxNdim = 8;
+constexpr uint64_t kMaxArrayLen = 1ULL << 32;  ///< Plausibility bound.
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -28,103 +40,351 @@ bool ReadBytes(std::FILE* f, void* p, size_t n) {
   return std::fread(p, 1, n, f) == n;
 }
 
-}  // namespace
+/// Appends raw bytes to the record buffer being assembled.
+void Append(std::vector<uint8_t>* buf, const void* p, size_t n) {
+  const auto* bytes = static_cast<const uint8_t*>(p);
+  buf->insert(buf->end(), bytes, bytes + n);
+}
 
-common::Status SaveTensors(const std::string& path,
-                           const std::map<std::string, Tensor>& tensors) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return common::Status::IOError("cannot open for write: " + path);
-  }
-  const uint64_t count = tensors.size();
-  if (!WriteBytes(f.get(), kMagic, 4) ||
-      !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
-      !WriteBytes(f.get(), &count, sizeof(count))) {
-    return common::Status::IOError("write header failed: " + path);
-  }
-  for (const auto& [name, t] : tensors) {
-    if (!t.defined()) {
-      return common::Status::InvalidArgument("undefined tensor: " + name);
-    }
-    const uint32_t name_len = static_cast<uint32_t>(name.size());
-    const uint32_t ndim = static_cast<uint32_t>(t.ndim());
-    if (!WriteBytes(f.get(), &name_len, sizeof(name_len)) ||
-        !WriteBytes(f.get(), name.data(), name.size()) ||
-        !WriteBytes(f.get(), &ndim, sizeof(ndim))) {
-      return common::Status::IOError("write tensor header failed: " + name);
-    }
-    for (int64_t i = 0; i < t.ndim(); ++i) {
-      const int64_t d = t.dim(i);
-      if (!WriteBytes(f.get(), &d, sizeof(d))) {
-        return common::Status::IOError("write dims failed: " + name);
-      }
-    }
-    // Files always hold dense row-major data; a strided view is compacted
-    // into a fresh buffer before writing.
-    const Tensor dense = t.is_contiguous() ? t : t.Detach();
-    if (!WriteBytes(f.get(), dense.data(),
-                    static_cast<size_t>(dense.numel()) * sizeof(float))) {
-      return common::Status::IOError("write data failed: " + name);
-    }
+template <typename T>
+void AppendValue(std::vector<uint8_t>* buf, T value) {
+  Append(buf, &value, sizeof(value));
+}
+
+/// Serialises one record (name + kind + payload) into `buf` and writes it to
+/// `f` followed by its CRC.
+common::Status WriteRecord(std::FILE* f, std::vector<uint8_t>* buf,
+                           const std::string& name) {
+  const uint32_t crc = Crc32(buf->data(), buf->size());
+  if (!WriteBytes(f, buf->data(), buf->size()) ||
+      !WriteBytes(f, &crc, sizeof(crc))) {
+    return common::Status::IOError("write record failed: " + name);
   }
   return common::Status::OK();
 }
 
-common::Result<std::map<std::string, Tensor>> LoadTensors(
-    const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
-    return common::Status::IOError("cannot open for read: " + path);
-  }
-  char magic[4];
-  uint32_t version = 0;
+void BeginRecord(std::vector<uint8_t>* buf, const std::string& name,
+                 uint8_t kind) {
+  buf->clear();
+  AppendValue(buf, static_cast<uint32_t>(name.size()));
+  Append(buf, name.data(), name.size());
+  AppendValue(buf, kind);
+}
+
+template <typename T>
+common::Status WriteArrayRecord(std::FILE* f, std::vector<uint8_t>* buf,
+                                const std::string& name, uint8_t kind,
+                                const std::vector<T>& values) {
+  BeginRecord(buf, name, kind);
+  AppendValue(buf, static_cast<uint64_t>(values.size()));
+  Append(buf, values.data(), values.size() * sizeof(T));
+  return WriteRecord(f, buf, name);
+}
+
+/// Reads `n` bytes into the record buffer (which accumulates everything the
+/// CRC covers) and returns a pointer to them.
+const uint8_t* ReadInto(std::FILE* f, std::vector<uint8_t>* buf, size_t n) {
+  const size_t at = buf->size();
+  buf->resize(at + n);
+  if (!ReadBytes(f, buf->data() + at, n)) return nullptr;
+  return buf->data() + at;
+}
+
+template <typename T>
+bool ReadValueInto(std::FILE* f, std::vector<uint8_t>* buf, T* out) {
+  const uint8_t* p = ReadInto(f, buf, sizeof(T));
+  if (p == nullptr) return false;
+  std::memcpy(out, p, sizeof(T));
+  return true;
+}
+
+/// Legacy (v1) body: tensors only, no CRC. `file_size` bounds every size
+/// field (see LoadBundle).
+common::Result<LoadedBundle> LoadLegacyBody(std::FILE* f,
+                                            const std::string& path,
+                                            uint64_t file_size) {
   uint64_t count = 0;
-  if (!ReadBytes(f.get(), magic, 4) ||
-      !ReadBytes(f.get(), &version, sizeof(version)) ||
-      !ReadBytes(f.get(), &count, sizeof(count))) {
+  if (!ReadBytes(f, &count, sizeof(count))) {
     return common::Status::IOError("read header failed: " + path);
   }
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    return common::Status::InvalidArgument("bad magic in " + path);
-  }
-  if (version != kVersion) {
-    return common::Status::InvalidArgument("unsupported version in " + path);
-  }
-  std::map<std::string, Tensor> out;
+  LoadedBundle out;
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
-    if (!ReadBytes(f.get(), &name_len, sizeof(name_len))) {
+    if (!ReadBytes(f, &name_len, sizeof(name_len))) {
       return common::Status::IOError("read name length failed: " + path);
     }
     std::string name(name_len, '\0');
     uint32_t ndim = 0;
-    if (!ReadBytes(f.get(), name.data(), name_len) ||
-        !ReadBytes(f.get(), &ndim, sizeof(ndim))) {
+    if (!ReadBytes(f, name.data(), name_len) ||
+        !ReadBytes(f, &ndim, sizeof(ndim))) {
       return common::Status::IOError("read tensor header failed: " + path);
     }
-    if (ndim > 8) {
+    if (ndim > kMaxNdim) {
       return common::Status::InvalidArgument("implausible ndim in " + path);
     }
     std::vector<int64_t> dims(ndim);
     int64_t numel = 1;
     for (auto& d : dims) {
-      if (!ReadBytes(f.get(), &d, sizeof(d))) {
+      if (!ReadBytes(f, &d, sizeof(d))) {
         return common::Status::IOError("read dims failed: " + path);
       }
-      if (d <= 0) {
+      if (d <= 0 || numel > (1LL << 40) / d) {
         return common::Status::InvalidArgument("bad dim in " + path);
       }
       numel *= d;
     }
+    if (static_cast<uint64_t>(numel) * sizeof(float) > file_size) {
+      return common::Status::InvalidArgument(
+          "tensor '" + name + "' claims more data than " + path + " holds");
+    }
     std::vector<float> data(static_cast<size_t>(numel));
-    if (!ReadBytes(f.get(), data.data(),
+    if (!ReadBytes(f, data.data(),
                    static_cast<size_t>(numel) * sizeof(float))) {
       return common::Status::IOError("read data failed for " + name);
     }
-    out.emplace(std::move(name),
-                Tensor::FromVector(Shape(std::move(dims)), std::move(data)));
+    out.records.tensors.emplace(
+        std::move(name),
+        Tensor::FromVector(Shape(std::move(dims)), std::move(data)));
   }
   return out;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  // Table-driven CRC-32 (IEEE), table built once on first use.
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+common::Status SaveBundle(const std::string& path, uint64_t meta_tag,
+                          const RecordBundle& bundle) {
+  // Write to a sibling temp file and rename over the target, so a crash
+  // mid-save (the very event checkpointing exists to survive) never
+  // destroys the previous good checkpoint.
+  const std::string tmp_path = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp_path.c_str(), "wb"));
+    if (f == nullptr) {
+      return common::Status::IOError("cannot open for write: " + tmp_path);
+    }
+    const uint64_t count = bundle.tensors.size() + bundle.doubles.size() +
+                           bundle.ints.size() + bundle.uints.size();
+    if (!WriteBytes(f.get(), kMagic, 4) ||
+        !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
+        !WriteBytes(f.get(), &meta_tag, sizeof(meta_tag)) ||
+        !WriteBytes(f.get(), &count, sizeof(count))) {
+      return common::Status::IOError("write header failed: " + tmp_path);
+    }
+    std::vector<uint8_t> buf;
+    for (const auto& [name, t] : bundle.tensors) {
+      if (!t.defined()) {
+        return common::Status::InvalidArgument("undefined tensor: " + name);
+      }
+      if (t.ndim() > kMaxNdim) {
+        return common::Status::InvalidArgument("too many dims: " + name);
+      }
+      BeginRecord(&buf, name, kTensorF32);
+      AppendValue(&buf, static_cast<uint32_t>(t.ndim()));
+      for (int64_t i = 0; i < t.ndim(); ++i) AppendValue(&buf, t.dim(i));
+      // Files always hold dense row-major data; a strided view is compacted
+      // into a fresh buffer before writing.
+      const Tensor dense = t.is_contiguous() ? t : t.Detach();
+      Append(&buf, dense.data(),
+             static_cast<size_t>(dense.numel()) * sizeof(float));
+      START_RETURN_IF_ERROR(WriteRecord(f.get(), &buf, name));
+    }
+    for (const auto& [name, v] : bundle.doubles) {
+      START_RETURN_IF_ERROR(
+          WriteArrayRecord(f.get(), &buf, name, kArrayF64, v));
+    }
+    for (const auto& [name, v] : bundle.ints) {
+      START_RETURN_IF_ERROR(
+          WriteArrayRecord(f.get(), &buf, name, kArrayI64, v));
+    }
+    for (const auto& [name, v] : bundle.uints) {
+      START_RETURN_IF_ERROR(
+          WriteArrayRecord(f.get(), &buf, name, kArrayU64, v));
+    }
+    if (std::fflush(f.get()) != 0) {
+      return common::Status::IOError("flush failed: " + tmp_path);
+    }
+  }  // closes the file before the rename
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return common::Status::IOError("rename " + tmp_path + " -> " + path +
+                                   " failed");
+  }
+  return common::Status::OK();
+}
+
+common::Result<LoadedBundle> LoadBundle(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return common::Status::IOError("cannot open for read: " + path);
+  }
+  // No size field in the file may claim a payload bigger than the file
+  // itself — otherwise a flipped bit in a dim/length word would drive a
+  // multi-terabyte allocation (and an uncaught bad_alloc) before the CRC
+  // check ever sees the record.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return common::Status::IOError("seek failed: " + path);
+  }
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0 || std::fseek(f.get(), 0, SEEK_SET) != 0) {
+    return common::Status::IOError("seek failed: " + path);
+  }
+  const auto payload_fits = [file_size](uint64_t bytes) {
+    return bytes <= static_cast<uint64_t>(file_size);
+  };
+  char magic[4];
+  uint32_t version = 0;
+  if (!ReadBytes(f.get(), magic, 4) ||
+      !ReadBytes(f.get(), &version, sizeof(version))) {
+    return common::Status::IOError("read header failed: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return common::Status::InvalidArgument("bad magic in " + path);
+  }
+  if (version == kLegacyVersion) {
+    return LoadLegacyBody(f.get(), path, static_cast<uint64_t>(file_size));
+  }
+  if (version != kVersion) {
+    return common::Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) + " in " +
+        path + " (this build reads versions 1-" + std::to_string(kVersion) +
+        ")");
+  }
+  LoadedBundle out;
+  uint64_t count = 0;
+  if (!ReadBytes(f.get(), &out.meta_tag, sizeof(out.meta_tag)) ||
+      !ReadBytes(f.get(), &count, sizeof(count))) {
+    return common::Status::IOError("read header failed: " + path);
+  }
+  std::vector<uint8_t> buf;  // bytes of the current record, for the CRC
+  for (uint64_t i = 0; i < count; ++i) {
+    buf.clear();
+    uint32_t name_len = 0;
+    if (!ReadValueInto(f.get(), &buf, &name_len)) {
+      return common::Status::IOError("truncated record header in " + path);
+    }
+    if (name_len > 4096) {
+      return common::Status::InvalidArgument("implausible name length in " +
+                                             path);
+    }
+    const uint8_t* name_bytes = ReadInto(f.get(), &buf, name_len);
+    if (name_bytes == nullptr) {
+      return common::Status::IOError("truncated record name in " + path);
+    }
+    const std::string name(reinterpret_cast<const char*>(name_bytes),
+                           name_len);
+    uint8_t kind = 0;
+    if (!ReadValueInto(f.get(), &buf, &kind)) {
+      return common::Status::IOError("truncated record kind for " + name);
+    }
+    if (kind == kTensorF32) {
+      uint32_t ndim = 0;
+      if (!ReadValueInto(f.get(), &buf, &ndim)) {
+        return common::Status::IOError("truncated tensor header for " + name);
+      }
+      if (ndim > kMaxNdim) {
+        return common::Status::InvalidArgument("implausible ndim in " + path);
+      }
+      std::vector<int64_t> dims(ndim);
+      int64_t numel = 1;
+      for (auto& d : dims) {
+        if (!ReadValueInto(f.get(), &buf, &d)) {
+          return common::Status::IOError("truncated dims for " + name);
+        }
+        if (d <= 0 || numel > (1LL << 40) / d) {
+          return common::Status::InvalidArgument("bad dim in " + path);
+        }
+        numel *= d;
+      }
+      if (!payload_fits(static_cast<uint64_t>(numel) * sizeof(float))) {
+        return common::Status::InvalidArgument(
+            "tensor '" + name + "' claims more data than " + path +
+            " holds (corrupted size field)");
+      }
+      const uint8_t* data =
+          ReadInto(f.get(), &buf, static_cast<size_t>(numel) * sizeof(float));
+      if (data == nullptr) {
+        return common::Status::IOError("truncated data for " + name);
+      }
+      std::vector<float> values(static_cast<size_t>(numel));
+      std::memcpy(values.data(), data, values.size() * sizeof(float));
+      out.records.tensors.emplace(
+          name, Tensor::FromVector(Shape(std::move(dims)), std::move(values)));
+    } else if (kind == kArrayF64 || kind == kArrayI64 || kind == kArrayU64) {
+      uint64_t len = 0;
+      if (!ReadValueInto(f.get(), &buf, &len)) {
+        return common::Status::IOError("truncated array header for " + name);
+      }
+      if (len > kMaxArrayLen || !payload_fits(len * 8)) {
+        return common::Status::InvalidArgument("implausible array length in " +
+                                               path);
+      }
+      const uint8_t* data =
+          ReadInto(f.get(), &buf, static_cast<size_t>(len) * 8);
+      if (data == nullptr) {
+        return common::Status::IOError("truncated array data for " + name);
+      }
+      if (kind == kArrayF64) {
+        auto& v = out.records.doubles[name];
+        v.resize(static_cast<size_t>(len));
+        std::memcpy(v.data(), data, v.size() * sizeof(double));
+      } else if (kind == kArrayI64) {
+        auto& v = out.records.ints[name];
+        v.resize(static_cast<size_t>(len));
+        std::memcpy(v.data(), data, v.size() * sizeof(int64_t));
+      } else {
+        auto& v = out.records.uints[name];
+        v.resize(static_cast<size_t>(len));
+        std::memcpy(v.data(), data, v.size() * sizeof(uint64_t));
+      }
+    } else {
+      return common::Status::InvalidArgument(
+          "unknown record kind " + std::to_string(kind) + " in " + path);
+    }
+    uint32_t stored_crc = 0;
+    if (!ReadBytes(f.get(), &stored_crc, sizeof(stored_crc))) {
+      return common::Status::IOError("truncated CRC for " + name);
+    }
+    const uint32_t actual_crc = Crc32(buf.data(), buf.size());
+    if (stored_crc != actual_crc) {
+      return common::Status::InvalidArgument(
+          "CRC mismatch for record '" + name + "' in " + path +
+          " (file is corrupted)");
+    }
+  }
+  return out;
+}
+
+common::Status SaveTensors(const std::string& path,
+                           const std::map<std::string, Tensor>& tensors) {
+  RecordBundle bundle;
+  bundle.tensors = tensors;
+  return SaveBundle(path, 0, bundle);
+}
+
+common::Result<std::map<std::string, Tensor>> LoadTensors(
+    const std::string& path) {
+  START_ASSIGN_OR_RETURN(LoadedBundle bundle, LoadBundle(path));
+  return std::move(bundle.records.tensors);
 }
 
 }  // namespace start::tensor

@@ -1,25 +1,68 @@
 #ifndef START_TENSOR_SERIALIZE_H_
 #define START_TENSOR_SERIALIZE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace start::tensor {
 
-/// \brief Writes named tensors to a binary file.
+/// \brief Typed named records persisted together in one checkpoint file.
 ///
-/// Format: magic "STTN", uint32 version, uint64 count, then per tensor:
-/// uint32 name length, name bytes, uint32 ndim, int64 dims..., float data.
-/// Used to persist pre-trained models for the transfer experiments (Table III).
+/// Tensors carry model/optimizer parameters; the scalar arrays carry trainer
+/// bookkeeping (loss accumulators, step cursors, RNG state) that must survive
+/// a save/load/resume cycle bitwise (see core/checkpoint.h).
+struct RecordBundle {
+  std::map<std::string, Tensor> tensors;
+  std::map<std::string, std::vector<double>> doubles;
+  std::map<std::string, std::vector<int64_t>> ints;
+  std::map<std::string, std::vector<uint64_t>> uints;
+
+  bool empty() const {
+    return tensors.empty() && doubles.empty() && ints.empty() && uints.empty();
+  }
+};
+
+/// \brief A bundle read back from disk, plus the header's caller tag.
+struct LoadedBundle {
+  uint64_t meta_tag = 0;  ///< Caller-defined (core uses the config hash).
+  RecordBundle records;
+};
+
+/// \brief Writes a versioned record bundle.
+///
+/// Format (v2): magic "STTN", uint32 version, uint64 meta_tag, uint64 record
+/// count, then per record: uint32 name length, name bytes, uint8 kind,
+/// kind-specific payload, uint32 CRC-32 over the record bytes (name length
+/// through payload). Tensor records hold dense row-major float data —
+/// view-backed (non-contiguous) tensors are compacted before writing, so a
+/// checkpoint never depends on in-memory layout. `meta_tag` is free for the
+/// caller; core/checkpoint stores the model-config hash there.
+common::Status SaveBundle(const std::string& path, uint64_t meta_tag,
+                          const RecordBundle& bundle);
+
+/// Reads a bundle written by SaveBundle. Rejects bad magic, unknown versions,
+/// truncated files, and records whose CRC does not match (corruption).
+/// Version-1 files (tensors only, no CRC) are still accepted.
+common::Result<LoadedBundle> LoadBundle(const std::string& path);
+
+/// \brief Writes named tensors to a binary file (a tensors-only bundle with
+/// meta_tag 0). Used to persist pre-trained models for the transfer
+/// experiments (Table III).
 common::Status SaveTensors(const std::string& path,
                            const std::map<std::string, Tensor>& tensors);
 
-/// Reads a tensor file written by SaveTensors.
+/// Reads the tensor records of a file written by SaveTensors or SaveBundle.
 common::Result<std::map<std::string, Tensor>> LoadTensors(
     const std::string& path);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) used for per-record integrity;
+/// exposed so tests can craft corrupt files with valid structure.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 
 }  // namespace start::tensor
 

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "data/dataset.h"
+#include "data/loader.h"
 #include "data/span_mask.h"
 #include "roadnet/synthetic_city.h"
 #include "traj/trip_generator.h"
@@ -134,6 +138,118 @@ TEST_F(PretrainTest, MaskedRecoveryBeatsChance) {
   const double acc = static_cast<double>(correct) / static_cast<double>(total);
   const double chance = 1.0 / static_cast<double>(net_.num_segments());
   EXPECT_GT(acc, 5.0 * chance);
+}
+
+// ---- Checkpoint / resume determinism --------------------------------------
+
+// Interrupt a run at mid-plan, resume it from the checkpoint into a fresh
+// model, and require the final parameters and loss trace to be bitwise
+// identical to a never-interrupted run. Exercised for worker counts 0
+// (synchronous) and 2 (async prefetch) on both sides — the loader's step
+// seeding plus the trainer's per-step dropout seeding make worker count a
+// pure throughput knob, and resume must preserve that.
+TEST_F(PretrainTest, ResumeMatchesUninterruptedRunBitwise) {
+  PretrainConfig base;
+  base.epochs = 2;
+  base.batch_size = 8;
+  base.lr = 2e-3;
+  base.seed = 21;
+
+  // The plan is a pure function of (lengths, plan knobs); rebuild it here to
+  // learn the interruption point K/2.
+  data::PlanConfig plan_config;
+  plan_config.batch_size = base.batch_size;
+  plan_config.epochs = base.epochs;
+  plan_config.seed = base.seed;
+  const int64_t total_steps = static_cast<int64_t>(
+      data::MakeShuffledPlan(data::Lengths(corpus_), plan_config)
+          .steps.size());
+  ASSERT_GT(total_steps, 3);
+
+  for (const int workers : {0, 2}) {
+    SCOPED_TRACE("num_workers=" + std::to_string(workers));
+    PretrainConfig config = base;
+    config.num_workers = workers;
+
+    // Reference: one uninterrupted run.
+    common::Rng rng_full(77);
+    StartModel full(TinyConfig(), &net_, transfer_.get(), &rng_full);
+    const PretrainStats stats_full =
+        Pretrain(&full, corpus_, &traffic_, config);
+
+    // Interrupted run: stop (and checkpoint) after K/2 steps...
+    const std::string ckpt = std::string(::testing::TempDir()) +
+                             "/resume_w" + std::to_string(workers) + ".sttn";
+    std::remove(ckpt.c_str());
+    common::Rng rng_half(77);  // identical init to the reference run
+    StartModel half(TinyConfig(), &net_, transfer_.get(), &rng_half);
+    PretrainConfig interrupted = config;
+    interrupted.checkpoint_path = ckpt;
+    interrupted.max_steps = total_steps / 2;
+    Pretrain(&half, corpus_, &traffic_, interrupted);
+
+    // ...then resume into a model with a *different* init: everything that
+    // matters must come from the checkpoint. The resume side also swaps the
+    // worker count (2 <-> 0) — determinism must hold across that too.
+    common::Rng rng_resumed(1234);
+    StartModel resumed(TinyConfig(), &net_, transfer_.get(), &rng_resumed);
+    PretrainConfig tail = config;
+    tail.num_workers = workers == 0 ? 2 : 0;
+    tail.checkpoint_path = ckpt;
+    tail.resume = true;
+    const PretrainStats stats_resumed =
+        Pretrain(&resumed, corpus_, &traffic_, tail);
+
+    // Bitwise-identical parameters...
+    const auto named_full = full.NamedParameters();
+    const auto named_resumed = resumed.NamedParameters();
+    ASSERT_EQ(named_full.size(), named_resumed.size());
+    for (size_t i = 0; i < named_full.size(); ++i) {
+      ASSERT_EQ(named_full[i].first, named_resumed[i].first);
+      const auto& a = named_full[i].second;
+      const auto& b = named_resumed[i].second;
+      ASSERT_EQ(a.shape(), b.shape());
+      EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                            static_cast<size_t>(a.numel()) * sizeof(float)),
+                0)
+          << "parameter diverged after resume: " << named_full[i].first;
+    }
+    // ...and a bitwise-identical per-epoch loss trace.
+    ASSERT_EQ(stats_full.epoch_loss.size(), stats_resumed.epoch_loss.size());
+    for (size_t e = 0; e < stats_full.epoch_loss.size(); ++e) {
+      EXPECT_EQ(stats_full.epoch_loss[e], stats_resumed.epoch_loss[e]);
+      EXPECT_EQ(stats_full.epoch_mask_loss[e],
+                stats_resumed.epoch_mask_loss[e]);
+      EXPECT_EQ(stats_full.epoch_contrastive_loss[e],
+                stats_resumed.epoch_contrastive_loss[e]);
+    }
+    std::remove(ckpt.c_str());
+  }
+}
+
+// A checkpoint written under one plan must not silently resume a different
+// plan (changed epochs => changed schedule and step universe): the trainer
+// logs and restarts from scratch, which still trains successfully.
+TEST_F(PretrainTest, ResumeUnderDifferentPlanFallsBackToScratch) {
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/plan_change.sttn";
+  std::remove(ckpt.c_str());
+  common::Rng rng_a(5);
+  StartModel a(TinyConfig(), &net_, transfer_.get(), &rng_a);
+  PretrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.checkpoint_path = ckpt;
+  Pretrain(&a, corpus_, &traffic_, config);
+
+  common::Rng rng_b(6);
+  StartModel b(TinyConfig(), &net_, transfer_.get(), &rng_b);
+  PretrainConfig changed = config;
+  changed.epochs = 3;  // different plan -> resume refused, fresh run
+  changed.resume = true;
+  const PretrainStats stats = Pretrain(&b, corpus_, &traffic_, changed);
+  ASSERT_EQ(stats.epoch_loss.size(), 3u);
+  EXPECT_GT(stats.epoch_loss.front(), 0.0);
 }
 
 }  // namespace

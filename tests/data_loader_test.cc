@@ -227,6 +227,33 @@ TEST_F(LoaderTest, OutputIndependentOfWorkerCount) {
   }
 }
 
+TEST_F(LoaderTest, StartStepResumesTheExactTailOfTheStream) {
+  // The resume cursor: a loader starting at step k must deliver the
+  // bitwise-identical suffix of a full run — the contract core::Pretrain's
+  // checkpoint resume is built on. Checked for both worker modes, and the
+  // skipped prefix must never be built (no wasted augmentation work).
+  const auto full = Drain(/*num_workers=*/2);
+  ASSERT_GT(full.size(), 4u);
+  const int64_t start = static_cast<int64_t>(full.size()) / 2;
+  for (const int workers : {0, 2}) {
+    LoaderConfig config;
+    config.num_workers = workers;
+    config.prefetch_depth = 3;
+    config.seed = 5;
+    config.start_step = start;
+    BatchLoader loader(MakePlan().steps, MakeBuilder(), config);
+    std::vector<TrainingBatch> tail;
+    TrainingBatch tb;
+    while (loader.Next(&tb)) tail.push_back(std::move(tb));
+    ASSERT_EQ(tail.size(), full.size() - static_cast<size_t>(start))
+        << "workers=" << workers;
+    for (size_t i = 0; i < tail.size(); ++i) {
+      ExpectBitwiseEqual(tail[i], full[static_cast<size_t>(start) + i]);
+    }
+    EXPECT_EQ(loader.batches_built(), static_cast<int64_t>(tail.size()));
+  }
+}
+
 TEST_F(LoaderTest, DifferentSeedsGiveDifferentBatches) {
   const auto a = Drain(/*num_workers=*/2, /*seed=*/5);
   const auto b = Drain(/*num_workers=*/2, /*seed=*/6);

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Fails CI when a BENCH_*.json headline metric regresses >10% vs baseline.
+
+Usage:
+    python3 tools/check_bench_regression.py \
+        --baseline bench/baselines --current build [--tolerance 0.10]
+
+The committed baselines under bench/baselines/ are the BENCH_*.json files a
+known-good build produced (refresh them by copying a trusted run's output:
+`cp build/BENCH_*.json bench/baselines/`). Only *headline* metrics are
+gated — dimensionless ratios and efficiencies that are stable across host
+hardware. Raw millisecond timings and absolute steps/sec are deliberately
+not compared: they measure the runner, not the code. The baselines were
+recorded on a small host, so beefier CI runners clear them with margin;
+regressions of the code itself (a kernel losing its fast path, bucketing
+breaking) show up in the ratios on any machine.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# file -> list of (human name, extractor). Every metric is higher-is-better.
+HEADLINE_METRICS = {
+    "BENCH_tensor.json": [
+        # Fused-kernel speedup over the seed scalar loop, per benchmark.
+        # Entries without a scalar reference (speedup == 0) are skipped.
+        (
+            "tensor kernel speedups",
+            lambda doc: {
+                f"benchmarks[{b['name']}].speedup": b["speedup"]
+                for b in doc["benchmarks"]
+                if b.get("speedup", 0) > 0
+            },
+        ),
+    ],
+    "BENCH_pipeline.json": [
+        (
+            "pipeline end-to-end speedup",
+            lambda doc: {
+                "speedup_4workers_vs_seed": doc["speedup_4workers_vs_seed"]
+            },
+        ),
+        (
+            "length-bucketing padding efficiency",
+            lambda doc: {
+                "padding_efficiency.bucketed":
+                    doc["padding_efficiency"]["bucketed"]
+            },
+        ),
+    ],
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory with committed BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    args = parser.parse_args()
+
+    failures = []
+    checked = 0
+    for filename, extractors in HEADLINE_METRICS.items():
+        baseline_path = os.path.join(args.baseline, filename)
+        current_path = os.path.join(args.current, filename)
+        if not os.path.exists(baseline_path):
+            print(f"note: no committed baseline for {filename}; skipping")
+            continue
+        if not os.path.exists(current_path):
+            failures.append(f"{filename}: missing from {args.current} "
+                            "(bench did not run?)")
+            continue
+        baseline_doc = load(baseline_path)
+        current_doc = load(current_path)
+        for group, extract in extractors:
+            baseline_metrics = extract(baseline_doc)
+            current_metrics = extract(current_doc)
+            for key, base_value in baseline_metrics.items():
+                if key not in current_metrics:
+                    failures.append(f"{filename}: headline metric '{key}' "
+                                    "disappeared")
+                    continue
+                current_value = current_metrics[key]
+                floor = base_value * (1.0 - args.tolerance)
+                status = "ok" if current_value >= floor else "REGRESSED"
+                print(f"[{status:>9}] {group}: {key} = {current_value:.3f} "
+                      f"(baseline {base_value:.3f}, floor {floor:.3f})")
+                checked += 1
+                if current_value < floor:
+                    failures.append(
+                        f"{filename}: {key} regressed to {current_value:.3f} "
+                        f"(baseline {base_value:.3f}, allowed floor "
+                        f"{floor:.3f})")
+
+    if failures:
+        print("\nFAIL: headline benchmark regression(s) detected:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} headline metrics within "
+          f"{args.tolerance:.0%} of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
