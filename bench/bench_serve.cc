@@ -1,0 +1,349 @@
+// Serving benchmark: measures what the frozen-engine inference path and the
+// micro-batched EmbeddingService buy over the training-oriented encoder
+// surface, and emits BENCH_serve.json for CI tracking.
+//
+// Four measurements:
+//  1. Corpus-embedding throughput (trajectories/sec): the seed consumer
+//     contract — eval::TrajectoryEncoder::EncodeBatch per fixed-size batch
+//     with gradient recording on (autograd graph captured, stage-1 road
+//     representations re-derived every batch) — against
+//     serve::FrozenEncoder::EmbedAll (no grad state anywhere, road table
+//     precomputed at load, length-bucketed batches).
+//  2. Multi-client service throughput: N synchronous clients round-tripping
+//     requests through one EmbeddingService. The 1 -> 4 client gain comes
+//     from micro-batch coalescing (concurrent requests share one deadline
+//     wait and one batch's fixed work) plus, on multi-core hosts, worker
+//     parallelism.
+//  3. Batch-coalescing efficiency of a burst: mean requests per engine call
+//     and padding efficiency of the coalesced batches.
+//  4. Single-request latency (EncodeSync round trip), reported raw.
+//
+// OpenMP is pinned to 1 thread so every number isolates the serving-plane
+// mechanics (worker threads, coalescing, frozen-path savings) instead of
+// kernel-internal parallelism.
+//
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j --target bench_serve
+//   ./build/bench_serve
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/checkpoint.h"
+#include "core/start_encoder.h"
+#include "core/start_model.h"
+#include "data/dataset.h"
+#include "roadnet/synthetic_city.h"
+#include "serve/embedding_index.h"
+#include "serve/embedding_service.h"
+#include "serve/frozen_encoder.h"
+#include "traj/trip_generator.h"
+
+namespace {
+
+using start::common::Rng;
+using start::common::Stopwatch;
+
+struct World {
+  std::unique_ptr<start::roadnet::RoadNetwork> net;
+  std::unique_ptr<start::traj::TrafficModel> traffic;
+  std::unique_ptr<start::roadnet::TransferProbability> transfer;
+  std::vector<start::traj::Trajectory> corpus;
+};
+
+World BuildWorld() {
+  World w;
+  // Serving-representative scale: a city of ~1000 road segments (the real
+  // corpora are larger still), so the per-batch stage-1 recompute the seed
+  // path pays — and the frozen engine amortises into load time — matches
+  // the regime the serving plane exists for.
+  w.net = std::make_unique<start::roadnet::RoadNetwork>(
+      start::roadnet::BuildSyntheticCity(
+          {.grid_width = 16, .grid_height = 16, .seed = 31}));
+  w.traffic = std::make_unique<start::traj::TrafficModel>(
+      w.net.get(), start::traj::TrafficModel::Config{});
+  start::traj::TripGenerator::Config config;
+  config.num_drivers = 12;
+  config.num_days = 6;
+  config.trips_per_driver_day = 4.0;
+  config.zone_radius_m = 1800.0;
+  config.seed = 32;
+  start::traj::TripGenerator gen(w.traffic.get(), config);
+  start::data::DatasetConfig ds;
+  ds.min_length = 6;
+  ds.min_user_trajectories = 2;
+  w.corpus = start::data::TrajDataset::FromCorpus(*w.net, gen.Generate(), ds)
+                 .All();
+  w.transfer = std::make_unique<start::roadnet::TransferProbability>(
+      start::roadnet::TransferProbability::FromTrajectories(*w.net, [&] {
+        std::vector<std::vector<int64_t>> seqs;
+        for (const auto& t : w.corpus) seqs.push_back(t.roads);
+        return seqs;
+      }()));
+  return w;
+}
+
+/// The seed consumer contract for corpus embedding: fixed-size batches in
+/// corpus order, EncodeBatch with gradient recording live — every batch
+/// captures an autograd graph and re-derives the stage-1 road
+/// representations. (eval::EmbedAll has since moved to InferBatch; this
+/// reproduces the pre-serving path as the baseline.)
+double SeedGradEmbedAll(start::core::StartEncoder* encoder,
+                        const std::vector<start::traj::Trajectory>& corpus,
+                        std::vector<float>* out) {
+  const int64_t d = encoder->dim();
+  const int64_t batch_size = 64;
+  const int64_t n = static_cast<int64_t>(corpus.size());
+  out->assign(static_cast<size_t>(n * d), 0.0f);
+  encoder->SetTraining(false);
+  Stopwatch timer;
+  for (int64_t begin = 0; begin < n; begin += batch_size) {
+    const int64_t end = std::min(n, begin + batch_size);
+    std::vector<const start::traj::Trajectory*> batch;
+    for (int64_t i = begin; i < end; ++i) {
+      batch.push_back(&corpus[static_cast<size_t>(i)]);
+    }
+    const start::tensor::Tensor reps =
+        encoder->EncodeBatch(batch, start::eval::EncodeMode::kFull)
+            .Contiguous();
+    std::memcpy(out->data() + begin * d, reps.data(),
+                static_cast<size_t>((end - begin) * d) * sizeof(float));
+  }
+  return timer.ElapsedSeconds();
+}
+
+/// One synchronous client: round-trips `requests` through the service,
+/// walking the corpus from an offset so concurrent clients mix lengths.
+void ClientLoop(start::serve::EmbeddingService* service,
+                const std::vector<start::traj::Trajectory>& corpus,
+                int64_t requests, size_t offset, std::atomic<int64_t>* done) {
+  for (int64_t r = 0; r < requests; ++r) {
+    const size_t idx = (offset + static_cast<size_t>(r)) % corpus.size();
+    auto result = service->Encode(corpus[idx]);
+    if (!result.ok()) continue;
+    result.value().get();
+    done->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+double MeasureServiceThroughput(const start::serve::FrozenEncoder* frozen,
+                                const std::vector<start::traj::Trajectory>&
+                                    corpus,
+                                int num_clients, int64_t requests_per_client) {
+  start::serve::ServiceConfig sc;
+  sc.num_workers = 4;
+  sc.max_batch_size = 16;
+  sc.batch_deadline_us = 200;
+  start::serve::EmbeddingService service(frozen, sc);
+  std::atomic<int64_t> done{0};
+  Stopwatch timer;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back(ClientLoop, &service, std::cref(corpus),
+                         requests_per_client,
+                         static_cast<size_t>(c) * 37, &done);
+  }
+  for (auto& t : clients) t.join();
+  const double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(done.load()) / seconds;
+}
+
+}  // namespace
+
+int main() {
+#ifdef _OPENMP
+  omp_set_num_threads(1);  // isolate serving-plane mechanics (see header)
+#endif
+  const World w = BuildWorld();
+  std::printf("corpus: %zu trajectories over %ld road segments\n",
+              w.corpus.size(), w.net->num_segments());
+
+  start::core::StartConfig config;
+  config.d = 32;
+  config.encoder_layers = 2;
+  config.encoder_heads = 4;
+  config.gat_layers = 2;
+  config.gat_heads = {4, 1};
+  config.max_len = 160;
+  Rng rng(33);
+  start::core::StartModel model(config, w.net.get(), w.transfer.get(), &rng);
+  const std::string checkpoint = "bench_serve_model.sttn";
+  {
+    const auto st = start::core::SaveModelCheckpoint(
+        checkpoint, model, start::core::HashStartConfig(config));
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint save failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  auto loaded = start::serve::FrozenEncoder::Load(checkpoint, config,
+                                                  w.net.get(),
+                                                  w.transfer.get());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "frozen load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto frozen = std::move(loaded).value();
+
+  // 1. Corpus embedding: seed grad-tracking path vs frozen engine. Best of
+  // two runs each — the gates below are hard CI failures.
+  start::core::StartEncoder grad_encoder(&model);
+  std::vector<float> seed_out;
+  double seed_s = SeedGradEmbedAll(&grad_encoder, w.corpus, &seed_out);
+  seed_s = std::min(seed_s, SeedGradEmbedAll(&grad_encoder, w.corpus,
+                                             &seed_out));
+  std::vector<float> frozen_out;
+  Stopwatch frozen_timer;
+  frozen_out = frozen->EmbedAll(w.corpus, start::eval::EncodeMode::kFull);
+  double frozen_s = frozen_timer.ElapsedSeconds();
+  frozen_timer.Restart();
+  frozen_out = frozen->EmbedAll(w.corpus, start::eval::EncodeMode::kFull);
+  frozen_s = std::min(frozen_s, frozen_timer.ElapsedSeconds());
+  const double n_trajs = static_cast<double>(w.corpus.size());
+  const double embed_seed = n_trajs / seed_s;
+  const double embed_frozen = n_trajs / frozen_s;
+  const double frozen_speedup = embed_frozen / embed_seed;
+
+  // 2. Service throughput: 1 vs 4 synchronous clients.
+  const int64_t kRequests = 256;
+  const double thr1 =
+      MeasureServiceThroughput(frozen.get(), w.corpus, 1, kRequests);
+  const double thr4 =
+      MeasureServiceThroughput(frozen.get(), w.corpus, 4, kRequests / 4);
+  const double scaling = thr4 / thr1;
+
+  // 3. Coalescing efficiency of an async burst, plus the bitwise gate: every
+  // embedding served out of arbitrarily coalesced batches must equal the
+  // frozen engine's serial corpus embedding.
+  bool bitwise_identical = true;
+  double coalescing = 0.0, pad_eff = 0.0;
+  {
+    start::serve::ServiceConfig sc;
+    sc.num_workers = 2;
+    sc.max_batch_size = 16;
+    sc.batch_deadline_us = 2000;
+    start::serve::EmbeddingService service(frozen.get(), sc);
+    std::vector<std::future<start::serve::EmbeddingRow>> futures;
+    futures.reserve(w.corpus.size());
+    for (const auto& t : w.corpus) {
+      auto result = service.Encode(t);
+      if (result.ok()) futures.push_back(std::move(result).value());
+    }
+    const int64_t d = frozen->dim();
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const start::serve::EmbeddingRow row = futures[i].get();
+      if (std::memcmp(row.data(), frozen_out.data() + i * d,
+                      static_cast<size_t>(d) * sizeof(float)) != 0) {
+        bitwise_identical = false;
+      }
+    }
+    const auto stats = service.stats();
+    coalescing = stats.coalescing();
+    pad_eff = stats.padding_efficiency();
+  }
+
+  // 4. Single-request latency.
+  std::vector<double> latencies_ms;
+  {
+    start::serve::ServiceConfig sc;
+    sc.num_workers = 1;
+    sc.batch_deadline_us = 0;
+    start::serve::EmbeddingService service(frozen.get(), sc);
+    Stopwatch latency_timer;
+    for (int64_t r = 0; r < 128; ++r) {
+      const auto& t = w.corpus[static_cast<size_t>(r) % w.corpus.size()];
+      latency_timer.Restart();
+      (void)service.EncodeSync(t);
+      latencies_ms.push_back(latency_timer.ElapsedMillis());
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double lat_p50 = latencies_ms[latencies_ms.size() / 2];
+  const double lat_p95 = latencies_ms[latencies_ms.size() * 95 / 100];
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("host                    : %u hardware threads\n", cores);
+  std::printf("corpus embed trajs/sec  : seed grad path %.1f | frozen %.1f "
+              "(%.2fx)\n",
+              embed_seed, embed_frozen, frozen_speedup);
+  std::printf("service requests/sec    : 1 client %.1f | 4 clients %.1f "
+              "(%.2fx scaling)\n",
+              thr1, thr4, scaling);
+  std::printf("burst coalescing        : %.2f requests/batch, padding "
+              "efficiency %.3f\n",
+              coalescing, pad_eff);
+  std::printf("single-request latency  : p50 %.2f ms, p95 %.2f ms\n",
+              lat_p50, lat_p95);
+  std::printf("bitwise vs serial       : %s\n",
+              bitwise_identical ? "identical" : "MISMATCH");
+
+  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_serve.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"corpus_embed_trajs_per_sec\": {\"seed_grad_path\": %.2f, "
+               "\"frozen\": %.2f},\n"
+               "  \"frozen_speedup_vs_seed\": %.3f,\n"
+               "  \"service_requests_per_sec\": {\"clients_1\": %.2f, "
+               "\"clients_4\": %.2f},\n"
+               "  \"service_scaling_4v1\": %.3f,\n"
+               "  \"coalescing_mean_batch\": %.3f,\n"
+               "  \"service_padding_efficiency\": %.4f,\n"
+               "  \"single_request_latency_ms\": {\"p50\": %.3f, "
+               "\"p95\": %.3f},\n"
+               "  \"bitwise_identical\": %s\n"
+               "}\n",
+               cores, embed_seed, embed_frozen, frozen_speedup, thr1, thr4,
+               scaling, coalescing, pad_eff, lat_p50, lat_p95,
+               bitwise_identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_serve.json\n");
+
+  // Acceptance gates.
+  //
+  // 1. Always: serving results must be bitwise identical to serial encodes —
+  //    micro-batching must never change what a client receives.
+  if (!bitwise_identical) {
+    std::fprintf(stderr, "FAIL: service output differs from serial frozen "
+                 "encodes\n");
+    return 1;
+  }
+  // 2. Always: the frozen engine must at least double corpus-embedding
+  //    throughput over the seed grad-tracking path. This is algorithmic
+  //    (no autograd capture, no per-batch stage-1 recompute, bucketed
+  //    batches), so it holds on any host, single-core included.
+  if (frozen_speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: frozen corpus-embedding speedup %.2fx < 2x\n",
+                 frozen_speedup);
+    return 1;
+  }
+  // 3. Always: 1 -> 4 clients must gain >= 1.5x. Two stacked mechanisms
+  //    deliver it, and only one needs hardware parallelism: concurrent
+  //    clients amortise the coalescing deadline + per-batch fixed work
+  //    across a micro-batch (a single synchronous client pays the full
+  //    deadline per request — that is the latency/throughput trade the
+  //    knob encodes), and on multi-core hosts the encode workers also run
+  //    batches in parallel. The committed single-core baseline clears the
+  //    floor on coalescing alone, so the gate holds everywhere.
+  if (scaling < 1.5) {
+    std::fprintf(stderr, "FAIL: 4-client scaling %.2fx < 1.5x\n", scaling);
+    return 1;
+  }
+  return 0;
+}

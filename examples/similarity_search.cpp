@@ -1,22 +1,29 @@
 // Trajectory similarity search demo — the paper's third downstream task
-// (Sec. III-D3 / IV-D4): most-similar search against detour-generated ground
-// truth using frozen pre-trained embeddings, compared with the classical
-// DTW / LCSS / Fréchet / EDR measures.
+// (Sec. III-D3 / IV-D4), served through the serving plane: pre-train once,
+// checkpoint, load the artifact into a serve::FrozenEncoder, embed queries
+// and database concurrently through a micro-batched serve::EmbeddingService,
+// index the database in a serve::EmbeddingIndex, and answer most-similar
+// queries there — compared with classical DTW.
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "common/stopwatch.h"
+#include "core/checkpoint.h"
 #include "core/pretrain.h"
-#include "core/start_encoder.h"
 #include "data/dataset.h"
 #include "data/detour.h"
 #include "roadnet/synthetic_city.h"
+#include "serve/embedding_index.h"
+#include "serve/embedding_service.h"
+#include "serve/frozen_encoder.h"
 #include "sim/search.h"
 #include "sim/similarity.h"
 #include "traj/trip_generator.h"
 
 int main() {
   using namespace start;
-  std::printf("=== similarity search example ===\n");
+  std::printf("=== similarity search example (serving plane) ===\n");
   const roadnet::RoadNetwork net = roadnet::BuildSyntheticCity(
       {.grid_width = 8, .grid_height = 8, .seed = 25});
   traj::TrafficModel traffic(&net, {});
@@ -40,11 +47,22 @@ int main() {
   core::StartModel model(config, &net, &transfer, &rng);
   std::printf("pre-training (representations are used frozen)...\n");
   core::PretrainConfig pretrain;
-  pretrain.epochs = 10;
+  pretrain.epochs = 8;
   pretrain.batch_size = 16;
   pretrain.lr = 2e-3;
+  pretrain.checkpoint_path = "/tmp/start_similarity_model.sttn";
   core::Pretrain(&model, dataset.train(), &traffic, pretrain);
-  core::StartEncoder encoder(&model);
+
+  // The serving engine: the checkpoint artifact loaded as an immutable
+  // snapshot — no grad buffers, dropout off, road table precomputed.
+  auto loaded = serve::FrozenEncoder::Load(pretrain.checkpoint_path, config,
+                                           &net, &transfer);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "frozen-engine load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto engine = std::move(loaded).value();
 
   // Detour ground truth (Sec. IV-D4a): replace a sub-trajectory with a
   // top-k alternative whose travel time differs by more than t_d.
@@ -67,14 +85,54 @@ int main() {
   std::printf("%zu queries against %zu database trajectories\n",
               queries.size(), database.size());
 
-  // Embedding-based search.
+  // Embed everything through the concurrent service (micro-batched, two
+  // workers) and build the retrieval index from the database rows.
   common::Stopwatch watch;
-  const auto q = encoder.EmbedAll(queries, eval::EncodeMode::kFull);
-  const auto db = encoder.EmbedAll(database, eval::EncodeMode::kFull);
-  const auto emb_metrics = sim::MostSimilarSearchEmbeddings(
-      q, static_cast<int64_t>(queries.size()), db,
-      static_cast<int64_t>(database.size()), config.d, gt);
+  serve::ServiceConfig service_config;
+  service_config.num_workers = 2;
+  service_config.batch_deadline_us = 500;
+  serve::EmbeddingService service(engine.get(), service_config);
+  const auto embed_all = [&](const std::vector<traj::Trajectory>& trajs) {
+    std::vector<std::future<serve::EmbeddingRow>> futures;
+    futures.reserve(trajs.size());
+    for (const auto& t : trajs) {
+      auto result = service.Encode(t);
+      if (!result.ok()) {
+        std::fprintf(stderr, "encode rejected: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      futures.push_back(std::move(result).value());
+    }
+    std::vector<float> rows;
+    rows.reserve(trajs.size() * static_cast<size_t>(engine->dim()));
+    for (auto& f : futures) {
+      const serve::EmbeddingRow row = f.get();
+      rows.insert(rows.end(), row.data(), row.data() + row.dim());
+    }
+    return rows;
+  };
+  const std::vector<float> q = embed_all(queries);
+  const std::vector<float> db = embed_all(database);
+
+  serve::EmbeddingIndex index(engine->dim());
+  std::vector<int64_t> db_ids(database.size());
+  for (size_t i = 0; i < database.size(); ++i) {
+    db_ids[i] = static_cast<int64_t>(i);
+  }
+  if (const auto st = index.AddBatch(db_ids, db); !st.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const auto emb_metrics = index.EvaluateMostSimilar(
+      q, static_cast<int64_t>(queries.size()), gt);
+  if (!emb_metrics.ok()) {
+    std::fprintf(stderr, "retrieval failed: %s\n",
+                 emb_metrics.status().ToString().c_str());
+    return 1;
+  }
   const double emb_time = watch.ElapsedMillis();
+  const auto stats = service.stats();
 
   // Classical DTW for comparison.
   watch.Restart();
@@ -91,13 +149,22 @@ int main() {
       gt);
   const double dtw_time = watch.ElapsedMillis();
 
-  std::printf("\nSTART embeddings: MR %.2f, HR@1 %.3f, HR@5 %.3f (%.1f ms "
-              "incl. embedding)\n",
-              emb_metrics.mean_rank, emb_metrics.hr_at_1,
-              emb_metrics.hr_at_5, emb_time);
-  std::printf("DTW:              MR %.2f, HR@1 %.3f, HR@5 %.3f (%.1f ms)\n",
+  std::printf("\nSTART serving plane: MR %.2f, HR@1 %.3f, HR@5 %.3f (%.1f ms "
+              "incl. embedding; %.1f requests/batch coalesced)\n",
+              emb_metrics->mean_rank, emb_metrics->hr_at_1,
+              emb_metrics->hr_at_5, emb_time, stats.coalescing());
+  std::printf("DTW:                 MR %.2f, HR@1 %.3f, HR@5 %.3f (%.1f ms)\n",
               dtw_metrics.mean_rank, dtw_metrics.hr_at_1,
               dtw_metrics.hr_at_5, dtw_time);
+  // Top-K through the index: the nearest database entries for query 0.
+  const auto top = index.Query(q.data(), engine->dim(), 3);
+  if (top.ok() && !top->empty()) {
+    std::printf("\nquery 0 top-3 from the index:");
+    for (const auto& n : *top) {
+      std::printf("  id %ld (cos %.3f)", n.id, n.score);
+    }
+    std::printf("   [ground truth: id %ld]\n", gt[0]);
+  }
   std::printf("\nembedding search answers from a %ld-dim vector (O(d) per "
               "pair) while DTW costs O(L^2) per pair — the Fig. 10 "
               "trade-off.\n",

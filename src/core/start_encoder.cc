@@ -1,24 +1,14 @@
 #include "core/start_encoder.h"
 
-#include "common/check.h"
 #include "core/checkpoint.h"
 #include "data/batch.h"
-#include "data/view.h"
 
 namespace start::core {
 
 tensor::Tensor StartEncoder::EncodeBatch(
     const std::vector<const traj::Trajectory*>& batch,
     eval::EncodeMode mode) {
-  START_CHECK(!batch.empty());
-  std::vector<data::View> views;
-  views.reserve(batch.size());
-  for (const auto* t : batch) {
-    views.push_back(mode == eval::EncodeMode::kDepartureOnly
-                        ? data::MakeEtaView(*t)
-                        : data::MakeView(*t));
-  }
-  const data::Batch b = data::MakeBatch(views);
+  const data::Batch b = eval::MakeModeBatch(batch, mode);
   // The cache is only sound when nothing will differentiate through the road
   // representations and the parameters cannot change between batches: pure
   // inference. Fine-tuning (training mode / grad mode) takes the full path.
@@ -29,6 +19,13 @@ tensor::Tensor StartEncoder::EncodeBatch(
     return model_->Encode(b, cached_road_reps_).cls;
   }
   return model_->Encode(b).cls;
+}
+
+tensor::Tensor StartEncoder::InferBatch(
+    const std::vector<const traj::Trajectory*>& batch,
+    eval::EncodeMode mode) {
+  tensor::NoGradGuard no_grad;
+  return EncodeBatch(batch, mode);
 }
 
 common::Status StartEncoder::WarmStart(const std::string& checkpoint_path,

@@ -31,6 +31,14 @@ class StartEncoder : public eval::TrajectoryEncoder {
       const std::vector<const traj::Trajectory*>& batch,
       eval::EncodeMode mode) override;
 
+  /// No-grad inference encode: always takes the cached-road-reps path (the
+  /// cache is populated on first use). The caller must have called
+  /// SetTraining(false); encoding an eval-mode model is the contract that
+  /// makes the cache sound.
+  tensor::Tensor InferBatch(
+      const std::vector<const traj::Trajectory*>& batch,
+      eval::EncodeMode mode) override;
+
   std::vector<tensor::Tensor> TrainableParameters() override {
     return model_->Parameters();
   }

@@ -132,16 +132,24 @@ EncoderOutput StartModel::Encode(const data::Batch& batch) const {
   return Encode(batch, ComputeRoadReps());
 }
 
+Tensor StartModel::BuildExtendedTable(const Tensor& road_reps) const {
+  // Rows [0, V) are roads, row V the [MASK] embedding, row V+1 a frozen
+  // zero row for padding.
+  const Tensor zero_row = Tensor::Zeros(Shape({1, config_.d}));
+  return tensor::Concat({road_reps, mask_embedding_, zero_row}, 0);
+}
+
 EncoderOutput StartModel::Encode(const data::Batch& batch,
                                  const Tensor& road_reps) const {
+  return EncodeWithTable(batch, BuildExtendedTable(road_reps));
+}
+
+EncoderOutput StartModel::EncodeWithTable(const data::Batch& batch,
+                                          const Tensor& ext) const {
   const int64_t b = batch.batch_size;
   const int64_t l = batch.max_len;
   const int64_t d = config_.d;
-  // Extended lookup table: rows [0, V) are roads, row V the [MASK]
-  // embedding, row V+1 a frozen zero row for padding.
-  const Tensor zero_row = Tensor::Zeros(Shape({1, d}));
-  const Tensor ext =
-      tensor::Concat({road_reps, mask_embedding_, zero_row}, 0);
+  START_CHECK_EQ(ext.dim(0), num_roads_ + 2);
   std::vector<int64_t> flat_ids(static_cast<size_t>(b * l));
   for (int64_t i = 0; i < b * l; ++i) {
     const int64_t r = batch.roads[static_cast<size_t>(i)];

@@ -47,6 +47,18 @@ class StartModel : public nn::Module {
   EncoderOutput Encode(const data::Batch& batch,
                        const tensor::Tensor& road_reps) const;
 
+  /// Extended token lookup table [V+2, d]: rows [0, V) are `road_reps`,
+  /// row V the [MASK] embedding, row V+1 a zero row for padding. Encode
+  /// assembles this per call; inference consumers whose parameters cannot
+  /// change (serve::FrozenEncoder) build it once and feed EncodeWithTable,
+  /// dropping an O(V·d) copy from every request.
+  tensor::Tensor BuildExtendedTable(const tensor::Tensor& road_reps) const;
+
+  /// Stage 2 with the extended lookup table already assembled. `ext` must be
+  /// a `BuildExtendedTable` result for the current parameters.
+  EncoderOutput EncodeWithTable(const data::Batch& batch,
+                                const tensor::Tensor& ext) const;
+
   /// Masked-recovery logits [num_masked, |V|] for the listed masked slots
   /// ((b, pos) positions are 0-based into the original, CLS-less sequence).
   tensor::Tensor MaskedLogits(const EncoderOutput& out,

@@ -5,8 +5,8 @@
 #include <numeric>
 
 #include "common/check.h"
-#include "data/batch.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace start::eval {
 
@@ -18,21 +18,18 @@ namespace {
 constexpr int64_t kEmbedBucketWidth = 4;
 }  // namespace
 
-std::vector<float> TrajectoryEncoder::EmbedAll(
-    const std::vector<traj::Trajectory>& trajs, EncodeMode mode,
-    int64_t batch_size) {
+std::vector<float> EmbedAllWith(
+    int64_t dim, const std::vector<traj::Trajectory>& trajs,
+    int64_t batch_size,
+    const std::function<
+        tensor::Tensor(const std::vector<const traj::Trajectory*>&)>&
+        encode) {
   START_CHECK_GT(batch_size, 0);
   const int64_t n = static_cast<int64_t>(trajs.size());
-  std::vector<float> out(static_cast<size_t>(n * dim()));
-  SetTraining(false);
-  tensor::NoGradGuard no_grad;
+  std::vector<float> out(static_cast<size_t>(n * dim));
   // Length-bucketed batch assembly (data/batch.h): corpus order in, so the
   // plan — and therefore every embedding — is deterministic; each batch's
   // rows are scattered back to their original corpus positions below.
-  // Inference mode also lets encoders hoist per-artifact work out of the
-  // per-batch loop: StartEncoder caches its stage-1 road representations
-  // behind the loaded checkpoint handle instead of re-deriving them on
-  // every EncodeBatch call.
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   const auto plan = data::BucketBatchPlan(data::Lengths(trajs), order,
@@ -44,18 +41,32 @@ std::vector<float> TrajectoryEncoder::EmbedAll(
     for (const int64_t i : step) {
       batch.push_back(&trajs[static_cast<size_t>(i)]);
     }
-    // EncodeBatch may hand back a zero-copy view (e.g. the cls-token slice);
+    // `encode` may hand back a zero-copy view (e.g. the cls-token slice);
     // compact it once here for the flat output buffer.
-    const tensor::Tensor reps = EncodeBatch(batch, mode).Contiguous();
+    const tensor::Tensor reps = encode(batch).Contiguous();
     START_CHECK_EQ(reps.dim(0), static_cast<int64_t>(step.size()));
-    START_CHECK_EQ(reps.dim(1), dim());
+    START_CHECK_EQ(reps.dim(1), dim);
     for (size_t r = 0; r < step.size(); ++r) {
-      std::memcpy(out.data() + step[r] * dim(),
-                  reps.data() + static_cast<int64_t>(r) * dim(),
-                  static_cast<size_t>(dim()) * sizeof(float));
+      std::memcpy(out.data() + step[r] * dim,
+                  reps.data() + static_cast<int64_t>(r) * dim,
+                  static_cast<size_t>(dim) * sizeof(float));
     }
   }
   return out;
+}
+
+std::vector<float> TrajectoryEncoder::EmbedAll(
+    const std::vector<traj::Trajectory>& trajs, EncodeMode mode,
+    int64_t batch_size) {
+  SetTraining(false);
+  // Encoding goes through InferBatch (the no-grad inference entry point),
+  // which lets encoders hoist per-artifact work out of the per-batch loop:
+  // StartEncoder caches its stage-1 road representations behind the loaded
+  // checkpoint handle instead of re-deriving them on every call.
+  return EmbedAllWith(dim(), trajs, batch_size,
+                      [&](const std::vector<const traj::Trajectory*>& batch) {
+                        return InferBatch(batch, mode);
+                      });
 }
 
 }  // namespace start::eval

@@ -2,10 +2,14 @@
 #define START_EVAL_ENCODER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
+#include "data/batch.h"
+#include "data/view.h"
 #include "tensor/tensor.h"
 #include "traj/trajectory.h"
 
@@ -34,6 +38,23 @@ class TrajectoryEncoder {
   /// Encodes a batch with gradients (for fine-tuning). Returns [B, dim].
   virtual tensor::Tensor EncodeBatch(
       const std::vector<const traj::Trajectory*>& batch, EncodeMode mode) = 0;
+
+  /// \brief Inference entry point: encodes a batch without recording
+  /// autograd state, so no graph nodes or gradient buffers are allocated.
+  ///
+  /// This is the API every embedding *consumer* (corpus embedding, the
+  /// frozen-encoder task paths, the serving plane) goes through; EncodeBatch
+  /// remains the fine-tuning surface. Callers must put the encoder in eval
+  /// mode first (SetTraining(false)) — InferBatch does not toggle it, so
+  /// encoders may hoist work that is invariant while parameters are frozen
+  /// (StartEncoder caches its stage-1 road representations across calls).
+  /// The default implementation (inherited by the baselines) wraps
+  /// EncodeBatch in a NoGradGuard. Returns [B, dim].
+  virtual tensor::Tensor InferBatch(
+      const std::vector<const traj::Trajectory*>& batch, EncodeMode mode) {
+    tensor::NoGradGuard no_grad;
+    return EncodeBatch(batch, mode);
+  }
 
   /// Parameters updated during fine-tuning.
   virtual std::vector<tensor::Tensor> TrainableParameters() = 0;
@@ -68,6 +89,37 @@ class TrajectoryEncoder {
   std::vector<float> EmbedAll(const std::vector<traj::Trajectory>& trajs,
                               EncodeMode mode, int64_t batch_size = 64);
 };
+
+/// Pads a pointer batch into the model-facing data::Batch for an encode
+/// mode (full views vs. the departure-only ETA protocol). The single place
+/// the mode -> view translation lives; shared by StartEncoder and the
+/// serving plane's FrozenEncoder. (Defined inline for the same reason this
+/// interface keeps no out-of-line virtuals: core implements adapters
+/// against eval and must not need eval's objects at link time.)
+inline data::Batch MakeModeBatch(
+    const std::vector<const traj::Trajectory*>& batch, EncodeMode mode) {
+  START_CHECK(!batch.empty());
+  std::vector<data::View> views;
+  views.reserve(batch.size());
+  for (const auto* t : batch) {
+    views.push_back(mode == EncodeMode::kDepartureOnly ? data::MakeEtaView(*t)
+                                                       : data::MakeView(*t));
+  }
+  return data::MakeBatch(views);
+}
+
+/// \brief The shared corpus-embedding loop behind every EmbedAll.
+///
+/// Builds a deterministic length-bucketed plan over `trajs` (corpus order
+/// in, so embeddings never depend on scheduling), calls `encode` per batch
+/// (must return dense-compactable [B, dim] rows), and scatters rows back to
+/// corpus positions. Keeping this in one place means the eval harness and
+/// serve::FrozenEncoder cannot drift apart in how a corpus is embedded.
+std::vector<float> EmbedAllWith(
+    int64_t dim, const std::vector<traj::Trajectory>& trajs,
+    int64_t batch_size,
+    const std::function<
+        tensor::Tensor(const std::vector<const traj::Trajectory*>&)>& encode);
 
 }  // namespace start::eval
 

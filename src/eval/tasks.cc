@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -26,6 +27,23 @@ std::vector<const traj::Trajectory*> MakeBatchPtrs(
     out.push_back(&trajs[static_cast<size_t>(order[static_cast<size_t>(i)])]);
   }
   return out;
+}
+
+/// Assembles a [B, dim] batch from pre-embedded rows ([n, dim] row-major),
+/// following `order[begin, end)`. Frozen-encoder (linear-probe) training
+/// embeds the split once and gathers per epoch: the frozen path is
+/// deterministic and batch-composition invariant, so the gathered rows are
+/// bitwise what InferBatch would have produced for the shuffled batch.
+Tensor GatherEmbeddedRows(const std::vector<float>& rows, int64_t dim,
+                          const std::vector<int64_t>& order, int64_t begin,
+                          int64_t end) {
+  std::vector<float> out(static_cast<size_t>((end - begin) * dim));
+  for (int64_t i = begin; i < end; ++i) {
+    std::memcpy(out.data() + (i - begin) * dim,
+                rows.data() + order[static_cast<size_t>(i)] * dim,
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+  return Tensor::FromVector(Shape({end - begin, dim}), std::move(out));
 }
 
 /// Warm-starts the encoder from the configured checkpoint before any
@@ -76,8 +94,19 @@ EtaResult FinetuneEta(TrajectoryEncoder* encoder,
     for (auto& p : encoder->TrainableParameters()) params.push_back(p);
   }
   nn::AdamW opt(params, config.lr);
-  encoder->SetTraining(true);
+  // A frozen encoder (linear probe) stays in eval mode and is driven through
+  // the no-grad inference surface: no encoder dropout, no autograd graph
+  // below the head. Frozen embeddings are deterministic and
+  // batch-composition invariant, so the train split is embedded ONCE
+  // (EmbedAll = bucketed InferBatch) and every epoch gathers cached rows
+  // instead of re-running the encoder forward.
+  encoder->SetTraining(config.finetune_encoder);
   head.SetTraining(true);
+  std::vector<float> frozen_rows;  // [n, dim] when the encoder is frozen
+  if (!config.finetune_encoder) {
+    frozen_rows = encoder->EmbedAll(train, EncodeMode::kDepartureOnly,
+                                    config.batch_size);
+  }
 
   std::vector<int64_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
@@ -97,7 +126,10 @@ EtaResult FinetuneEta(TrajectoryEncoder* encoder,
             stddev));
       }
       const Tensor reps =
-          encoder->EncodeBatch(batch, EncodeMode::kDepartureOnly);
+          config.finetune_encoder
+              ? encoder->EncodeBatch(batch, EncodeMode::kDepartureOnly)
+              : GatherEmbeddedRows(frozen_rows, encoder->dim(), order, begin,
+                                   end);
       const Tensor pred = head.Forward(reps);  // [B, 1]
       Tensor loss = tensor::MseLoss(pred, targets);
       opt.ZeroGrad();
@@ -113,7 +145,8 @@ EtaResult FinetuneEta(TrajectoryEncoder* encoder,
     }
   }
 
-  // Evaluate on the test split.
+  // Evaluate on the test split: always the frozen-encoder path (InferBatch),
+  // under an outer NoGradGuard so the head forward is graph-free too.
   EtaResult result;
   encoder->SetTraining(false);
   head.SetTraining(false);
@@ -127,7 +160,7 @@ EtaResult FinetuneEta(TrajectoryEncoder* encoder,
     const int64_t end = std::min(tn, begin + config.batch_size);
     const auto batch = MakeBatchPtrs(test, id_order, begin, end);
     const Tensor reps =
-        encoder->EncodeBatch(batch, EncodeMode::kDepartureOnly);
+        encoder->InferBatch(batch, EncodeMode::kDepartureOnly);
     const Tensor pred = head.Forward(reps);
     for (int64_t i = 0; i < end - begin; ++i) {
       result.pred_minutes.push_back(
@@ -163,8 +196,15 @@ ClassificationResult FinetuneClassification(
     for (auto& p : encoder->TrainableParameters()) params.push_back(p);
   }
   nn::AdamW opt(params, config.lr);
-  encoder->SetTraining(true);
+  // See FinetuneEta: a frozen encoder embeds the split once and the epochs
+  // train the head on gathered cached rows.
+  encoder->SetTraining(config.finetune_encoder);
   head.SetTraining(true);
+  std::vector<float> frozen_rows;  // [n, dim] when the encoder is frozen
+  if (!config.finetune_encoder) {
+    frozen_rows = encoder->EmbedAll(train, EncodeMode::kFull,
+                                    config.batch_size);
+  }
 
   std::vector<int64_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
@@ -183,7 +223,11 @@ ClassificationResult FinetuneClassification(
         START_CHECK(y >= 0 && y < num_classes);
         labels.push_back(y);
       }
-      const Tensor reps = encoder->EncodeBatch(batch, EncodeMode::kFull);
+      const Tensor reps =
+          config.finetune_encoder
+              ? encoder->EncodeBatch(batch, EncodeMode::kFull)
+              : GatherEmbeddedRows(frozen_rows, encoder->dim(), order, begin,
+                                   end);
       const Tensor logits = head.Forward(reps);
       Tensor loss = tensor::CrossEntropyWithLogits(logits, labels);
       opt.ZeroGrad();
@@ -213,7 +257,7 @@ ClassificationResult FinetuneClassification(
   for (int64_t begin = 0; begin < tn; begin += config.batch_size) {
     const int64_t end = std::min(tn, begin + config.batch_size);
     const auto batch = MakeBatchPtrs(test, id_order, begin, end);
-    const Tensor reps = encoder->EncodeBatch(batch, EncodeMode::kFull);
+    const Tensor reps = encoder->InferBatch(batch, EncodeMode::kFull);
     const Tensor probs = tensor::SoftmaxLastDim(head.Forward(reps));
     for (int64_t i = 0; i < end - begin; ++i) {
       const float* row = probs.data() + i * num_classes;

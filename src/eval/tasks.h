@@ -20,7 +20,10 @@ struct TaskConfig {
   uint64_t seed = 11;
   bool verbose = false;
   /// When false, the encoder is frozen and only the head is trained (used by
-  /// linear-probe style experiments).
+  /// linear-probe style experiments). The frozen path drives the encoder in
+  /// eval mode through TrajectoryEncoder::InferBatch, so head training runs
+  /// grad-free below the head (no encoder dropout, no graph through the
+  /// encoder).
   bool finetune_encoder = true;
   /// When non-empty, the encoder is warm-started from this checkpoint (a
   /// core::Pretrain artifact) before fine-tuning, instead of whatever state

@@ -1,0 +1,214 @@
+#include "serve/embedding_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "tensor/kernels.h"
+
+namespace start::serve {
+
+namespace {
+
+/// Rows scored per GemmNT call: keeps the scored block plus the query in
+/// cache while still amortizing the call overhead.
+constexpr int64_t kScoreBlockRows = 1024;
+
+/// L2-normalizes `dim` floats from `src` into `dst`; false on a zero vector.
+bool NormalizeInto(const float* src, int64_t dim, float* dst) {
+  double sq = 0.0;
+  for (int64_t i = 0; i < dim; ++i) {
+    sq += static_cast<double>(src[i]) * src[i];
+  }
+  if (sq <= 0.0) return false;
+  const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+  for (int64_t i = 0; i < dim; ++i) dst[i] = src[i] * inv;
+  return true;
+}
+
+}  // namespace
+
+EmbeddingIndex::EmbeddingIndex(int64_t dim) : dim_(dim) {
+  START_CHECK_GT(dim, 0);
+}
+
+int64_t EmbeddingIndex::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int64_t>(slot_to_id_.size());
+}
+
+bool EmbeddingIndex::Contains(int64_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return id_to_slot_.count(id) > 0;
+}
+
+common::Status EmbeddingIndex::Add(int64_t id, const float* embedding,
+                                   int64_t dim) {
+  return AddBatch({id}, std::vector<float>(embedding, embedding + dim));
+}
+
+common::Status EmbeddingIndex::Add(int64_t id,
+                                   const std::vector<float>& embedding) {
+  return AddBatch({id}, embedding);
+}
+
+common::Status EmbeddingIndex::AddBatch(const std::vector<int64_t>& ids,
+                                        const std::vector<float>& rows) {
+  const int64_t n = static_cast<int64_t>(ids.size());
+  if (static_cast<int64_t>(rows.size()) != n * dim_) {
+    return common::Status::InvalidArgument(
+        "AddBatch rows have " + std::to_string(rows.size()) +
+        " floats; expected ids * dim = " + std::to_string(n * dim_));
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Validate everything before mutating, so a failed bulk add is atomic.
+  // Duplicates within the batch itself would desynchronise the slot/id
+  // maps, so they are rejected along with already-indexed ids.
+  std::unordered_set<int64_t> batch_ids;
+  for (const int64_t id : ids) {
+    if (id_to_slot_.count(id) > 0 || !batch_ids.insert(id).second) {
+      return common::Status::AlreadyExists("id " + std::to_string(id) +
+                                           " already indexed");
+    }
+  }
+  std::vector<float> normalized(rows.size());
+  for (int64_t i = 0; i < n; ++i) {
+    if (!NormalizeInto(rows.data() + i * dim_, dim_,
+                       normalized.data() + i * dim_)) {
+      return common::Status::InvalidArgument(
+          "zero-norm embedding for id " + std::to_string(ids[i]) +
+          " (cosine similarity undefined)");
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    id_to_slot_.emplace(ids[i], static_cast<int64_t>(slot_to_id_.size()));
+    slot_to_id_.push_back(ids[i]);
+  }
+  rows_.insert(rows_.end(), normalized.begin(), normalized.end());
+  return common::Status::OK();
+}
+
+common::Status EmbeddingIndex::Remove(int64_t id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
+    return common::Status::NotFound("id " + std::to_string(id) +
+                                    " not indexed");
+  }
+  const int64_t slot = it->second;
+  const int64_t last = static_cast<int64_t>(slot_to_id_.size()) - 1;
+  if (slot != last) {
+    // Swap the final row into the hole; its id keeps working under the
+    // documented caveat that its tie-break slot changes.
+    std::memcpy(rows_.data() + slot * dim_, rows_.data() + last * dim_,
+                static_cast<size_t>(dim_) * sizeof(float));
+    slot_to_id_[static_cast<size_t>(slot)] = slot_to_id_[static_cast<size_t>(last)];
+    id_to_slot_[slot_to_id_[static_cast<size_t>(slot)]] = slot;
+  }
+  slot_to_id_.pop_back();
+  rows_.resize(slot_to_id_.size() * static_cast<size_t>(dim_));
+  id_to_slot_.erase(it);
+  return common::Status::OK();
+}
+
+void EmbeddingIndex::ScoreAll(const float* query,
+                              std::vector<float>* scores) const {
+  const int64_t n = static_cast<int64_t>(slot_to_id_.size());
+  scores->assign(static_cast<size_t>(n), 0.0f);  // GemmNT accumulates
+  for (int64_t begin = 0; begin < n; begin += kScoreBlockRows) {
+    const int64_t block = std::min(kScoreBlockRows, n - begin);
+    tensor::internal::GemmNT(query, dim_, rows_.data() + begin * dim_, dim_,
+                             scores->data() + begin, block, /*m=*/1,
+                             /*k=*/dim_, /*n=*/block);
+  }
+}
+
+common::Result<std::vector<EmbeddingIndex::Neighbor>> EmbeddingIndex::Query(
+    const float* query, int64_t dim, int64_t k) const {
+  if (dim != dim_) {
+    return common::Status::InvalidArgument(
+        "query dim " + std::to_string(dim) + " vs index dim " +
+        std::to_string(dim_));
+  }
+  if (k <= 0) {
+    return common::Status::InvalidArgument("k must be positive");
+  }
+  std::vector<float> normalized(static_cast<size_t>(dim_));
+  if (!NormalizeInto(query, dim_, normalized.data())) {
+    return common::Status::InvalidArgument("zero-norm query");
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (slot_to_id_.empty()) return std::vector<Neighbor>{};
+  std::vector<float> scores;
+  ScoreAll(normalized.data(), &scores);
+  // Heap selection through the one retrieval primitive (sim::TopK):
+  // ascending distance = descending similarity, ties toward lower slots =
+  // earlier-inserted entries.
+  const auto slots =
+      sim::TopK(static_cast<int64_t>(scores.size()), k, [&](int64_t i) {
+        return -static_cast<double>(scores[static_cast<size_t>(i)]);
+      });
+  std::vector<Neighbor> out;
+  out.reserve(slots.size());
+  for (const int64_t slot : slots) {
+    out.push_back(Neighbor{slot_to_id_[static_cast<size_t>(slot)],
+                           scores[static_cast<size_t>(slot)]});
+  }
+  return out;
+}
+
+common::Result<std::vector<EmbeddingIndex::Neighbor>> EmbeddingIndex::Query(
+    const std::vector<float>& query, int64_t k) const {
+  return Query(query.data(), static_cast<int64_t>(query.size()), k);
+}
+
+common::Result<sim::RankMetrics> EmbeddingIndex::EvaluateMostSimilar(
+    const std::vector<float>& queries, int64_t nq,
+    const std::vector<int64_t>& gt_id) const {
+  if (nq <= 0) {
+    return common::Status::InvalidArgument("need at least one query");
+  }
+  if (static_cast<int64_t>(queries.size()) != nq * dim_) {
+    return common::Status::InvalidArgument("queries must be [nq, dim]");
+  }
+  if (static_cast<int64_t>(gt_id.size()) != nq) {
+    return common::Status::InvalidArgument("gt_id must have one id per query");
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<int64_t> gt_slot(static_cast<size_t>(nq));
+  for (int64_t q = 0; q < nq; ++q) {
+    const auto gt = id_to_slot_.find(gt_id[static_cast<size_t>(q)]);
+    if (gt == id_to_slot_.end()) {
+      return common::Status::NotFound(
+          "ground-truth id " + std::to_string(gt_id[static_cast<size_t>(q)]) +
+          " not indexed");
+    }
+    gt_slot[static_cast<size_t>(q)] = gt->second;
+  }
+  std::vector<float> normalized(static_cast<size_t>(dim_));
+  for (int64_t q = 0; q < nq; ++q) {
+    if (!NormalizeInto(queries.data() + q * dim_, dim_, normalized.data())) {
+      return common::Status::InvalidArgument("zero-norm query " +
+                                             std::to_string(q));
+    }
+  }
+  // Rank through the one shared search core (sim/search.cc owns the
+  // rank/tie/metric-averaging rules): distance = -cosine over slots, scored
+  // once per query since MostSimilarSearch walks queries in order.
+  std::vector<float> scores;
+  int64_t scored_q = -1;
+  const auto distance = [&](int64_t q, int64_t i) {
+    if (q != scored_q) {
+      NormalizeInto(queries.data() + q * dim_, dim_, normalized.data());
+      ScoreAll(normalized.data(), &scores);
+      scored_q = q;
+    }
+    return -static_cast<double>(scores[static_cast<size_t>(i)]);
+  };
+  return sim::MostSimilarSearch(nq, static_cast<int64_t>(slot_to_id_.size()),
+                                distance, gt_slot);
+}
+
+}  // namespace start::serve

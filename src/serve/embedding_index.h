@@ -1,0 +1,83 @@
+#ifndef START_SERVE_EMBEDDING_INDEX_H_
+#define START_SERVE_EMBEDDING_INDEX_H_
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/search.h"
+
+namespace start::serve {
+
+/// \brief Exact brute-force Top-K retrieval over L2-normalized embeddings —
+/// the retrieval half of the serving plane.
+///
+/// Embeddings are normalized on Add, so the score is cosine similarity and
+/// ranking by descending score equals ranking by ascending Euclidean
+/// distance in the normalized space. Scoring is a blocked GEMM
+/// (tensor::internal::GemmNT over row blocks) and selection is heap-based
+/// Top-K (O(N log k), no full sort).
+///
+/// Thread-safety contract: Query/Contains/size take a shared lock; Add and
+/// Remove take an exclusive lock. Any number of concurrent readers, or one
+/// writer, at a time — the classic serving pattern of heavy query traffic
+/// with occasional corpus updates.
+class EmbeddingIndex {
+ public:
+  struct Neighbor {
+    int64_t id = 0;
+    float score = 0.0f;  ///< Cosine similarity in [-1, 1].
+  };
+
+  explicit EmbeddingIndex(int64_t dim);
+
+  int64_t dim() const { return dim_; }
+  int64_t size() const;
+  bool Contains(int64_t id) const;
+
+  /// \brief Inserts (or fails on duplicate id) one embedding of length
+  /// dim(). Zero vectors are rejected (cosine undefined).
+  common::Status Add(int64_t id, const float* embedding, int64_t dim);
+  common::Status Add(int64_t id, const std::vector<float>& embedding);
+
+  /// Bulk insert of `ids.size()` row-major rows (one exclusive lock).
+  common::Status AddBatch(const std::vector<int64_t>& ids,
+                          const std::vector<float>& rows);
+
+  /// Removes one embedding; NotFound when absent.
+  common::Status Remove(int64_t id);
+
+  /// \brief Top-k by descending cosine similarity.
+  ///
+  /// Returns min(k, size()) neighbors, best first. Exact ties are broken
+  /// toward the earlier-inserted entry (entries keep their insertion slot
+  /// until a Remove swaps the last slot into the hole). Rejects zero-norm
+  /// queries and dimension mismatches.
+  common::Result<std::vector<Neighbor>> Query(const float* query, int64_t dim,
+                                              int64_t k) const;
+  common::Result<std::vector<Neighbor>> Query(const std::vector<float>& query,
+                                              int64_t k) const;
+
+  /// \brief Most-similar-search protocol (Sec. IV-D4a) served through the
+  /// index: query q's ground truth is id `gt_id[q]`; queries are `nq`
+  /// row-major [dim] rows. Ranks by the Query contract above.
+  common::Result<sim::RankMetrics> EvaluateMostSimilar(
+      const std::vector<float>& queries, int64_t nq,
+      const std::vector<int64_t>& gt_id) const;
+
+ private:
+  /// Cosine scores of `query` (already normalized) against every row.
+  void ScoreAll(const float* query, std::vector<float>* scores) const;
+
+  int64_t dim_;
+  mutable std::shared_mutex mu_;
+  std::vector<float> rows_;               ///< Row-major [size, dim], normalized.
+  std::vector<int64_t> slot_to_id_;
+  std::unordered_map<int64_t, int64_t> id_to_slot_;
+};
+
+}  // namespace start::serve
+
+#endif  // START_SERVE_EMBEDDING_INDEX_H_

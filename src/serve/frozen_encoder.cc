@@ -1,0 +1,91 @@
+#include "serve/frozen_encoder.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "data/batch.h"
+
+namespace start::serve {
+
+common::Result<std::unique_ptr<FrozenEncoder>> FrozenEncoder::Load(
+    const std::string& checkpoint_path, const core::StartConfig& config,
+    const roadnet::RoadNetwork* net,
+    const roadnet::TransferProbability* transfer) {
+  if (net == nullptr) {
+    return common::Status::InvalidArgument("road network must not be null");
+  }
+  // Build the architecture with a throwaway generator (every parameter is
+  // overwritten by the checkpoint; load failures discard the model).
+  common::Rng init_rng(0);
+  auto model =
+      std::make_unique<core::StartModel>(config, net, transfer, &init_rng);
+  START_RETURN_IF_ERROR(core::LoadModelCheckpoint(
+      checkpoint_path, model.get(), core::HashStartConfig(config)));
+
+  // Freeze: eval mode, no autograd participation, no gradient buffers. The
+  // parameters themselves are already dense leaf tensors; clearing
+  // requires_grad means no op downstream of them ever records a graph node,
+  // whatever the caller's thread-local grad mode is.
+  model->SetTraining(false);
+  for (auto& p : model->Parameters()) {
+    p.impl()->requires_grad = false;
+    p.impl()->grad.reset();
+  }
+
+  auto encoder = std::unique_ptr<FrozenEncoder>(new FrozenEncoder());
+  {
+    // Precompute everything that depends only on the (now immutable)
+    // parameters: stage 1 and the extended token table, dense-packed out of
+    // whatever views produced them.
+    tensor::NoGradGuard no_grad;
+    const tensor::Tensor road_reps = model->ComputeRoadReps().Detach();
+    encoder->ext_table_ = model->BuildExtendedTable(road_reps).Detach();
+  }
+  encoder->model_ = std::move(model);
+  return encoder;
+}
+
+common::Status FrozenEncoder::Validate(const traj::Trajectory& t) const {
+  if (t.size() < 1) {
+    return common::Status::InvalidArgument("empty trajectory");
+  }
+  if (t.size() > max_len()) {
+    return common::Status::InvalidArgument(
+        "trajectory of " + std::to_string(t.size()) +
+        " roads exceeds the engine's max_len " + std::to_string(max_len()));
+  }
+  const int64_t v = model_->num_roads();
+  for (const int64_t r : t.roads) {
+    if (r < 0 || r >= v) {
+      return common::Status::InvalidArgument(
+          "road id " + std::to_string(r) + " outside [0, " +
+          std::to_string(v) + ")");
+    }
+  }
+  return common::Status::OK();
+}
+
+tensor::Tensor FrozenEncoder::EncodeBatch(
+    const std::vector<const traj::Trajectory*>& batch,
+    eval::EncodeMode mode) const {
+  const data::Batch b = eval::MakeModeBatch(batch, mode);
+  tensor::NoGradGuard no_grad;
+  // cls is a strided view into the [B, L+1, d] sequence buffer; compact it
+  // so callers hold B·d floats, not the whole sequence activation.
+  return model_->EncodeWithTable(b, ext_table_).cls.Contiguous();
+}
+
+std::vector<float> FrozenEncoder::EmbedAll(
+    const std::vector<traj::Trajectory>& trajs, eval::EncodeMode mode,
+    int64_t batch_size) const {
+  // Same deterministic bucketed loop as the eval harness, running on the
+  // frozen engine.
+  return eval::EmbedAllWith(
+      dim(), trajs, batch_size,
+      [&](const std::vector<const traj::Trajectory*>& batch) {
+        return EncodeBatch(batch, mode);
+      });
+}
+
+}  // namespace start::serve

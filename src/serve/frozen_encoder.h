@@ -1,0 +1,96 @@
+#ifndef START_SERVE_FROZEN_ENCODER_H_
+#define START_SERVE_FROZEN_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/start_model.h"
+#include "eval/encoder.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace start::serve {
+
+/// \brief Immutable inference snapshot of a pre-trained START model: the
+/// serving plane's engine.
+///
+/// A FrozenEncoder is built once from a core/checkpoint artifact and then
+/// never mutates:
+///  - parameters are loaded dense and stripped of gradient buffers, and
+///    `requires_grad` is cleared everywhere, so no encode ever records
+///    autograd state or allocates grad memory;
+///  - dropout is off (eval mode) and stays off;
+///  - the stage-1 TPE-GAT road representations AND the extended token
+///    lookup table ([V+2, d]: roads, [MASK], padding) are precomputed at
+///    load time, so a request pays only the stage-2 transformer forward.
+///
+/// Thread-safety contract: every const method may be called concurrently
+/// from any number of threads with no external synchronisation. This holds
+/// because the snapshot is genuinely immutable after Load returns — encode
+/// paths share the weights read-only, gradient mode is thread-local, and
+/// scratch buffers come from the thread-safe global BufferPool. (Verified
+/// under TSan by tests/serve_concurrency_test.cc.)
+///
+/// Load is the library's pure-Status artifact boundary: a missing, truncated,
+/// corrupt, or architecturally mismatched checkpoint file returns an error —
+/// it never CHECK-aborts the process on bad user input.
+class FrozenEncoder {
+ public:
+  /// \brief Loads a model checkpoint (SaveModelCheckpoint / core::Pretrain
+  /// artifact) into a frozen snapshot.
+  ///
+  /// `config` describes the artifact's architecture; `net` / `transfer` must
+  /// be the road network the model was trained on and must outlive the
+  /// encoder. Returns InvalidArgument/IOError/NotFound on unreadable or
+  /// mismatched artifacts.
+  static common::Result<std::unique_ptr<FrozenEncoder>> Load(
+      const std::string& checkpoint_path, const core::StartConfig& config,
+      const roadnet::RoadNetwork* net,
+      const roadnet::TransferProbability* transfer);
+
+  /// Representation dimensionality d.
+  int64_t dim() const { return model_->config().d; }
+
+  /// Longest trajectory (in roads) this engine can encode.
+  int64_t max_len() const { return model_->config().max_len; }
+
+  /// Architecture of the loaded artifact.
+  const core::StartConfig& config() const { return model_->config(); }
+
+  /// \brief Encodes a batch of trajectories; returns dense [B, dim].
+  ///
+  /// Thread-safe. Batch composition does not change results: each row is
+  /// bitwise identical to encoding that trajectory alone (padding positions
+  /// are excluded by hard attention masking), which is what lets the
+  /// EmbeddingService coalesce unrelated requests. Trajectories must be
+  /// non-empty and at most max_len() roads — use Validate() to pre-screen
+  /// user-supplied input; EncodeBatch itself treats violations as
+  /// programming errors.
+  tensor::Tensor EncodeBatch(const std::vector<const traj::Trajectory*>& batch,
+                             eval::EncodeMode mode) const;
+
+  /// Request-level input screening for user-supplied trajectories.
+  common::Status Validate(const traj::Trajectory& t) const;
+
+  /// \brief Embeds a corpus grad-free; row-major [n, dim].
+  ///
+  /// The serving counterpart of eval::TrajectoryEncoder::EmbedAll: same
+  /// length-bucketed deterministic plan, but running on the frozen engine
+  /// (no autograd bookkeeping, table precomputed once at load).
+  std::vector<float> EmbedAll(const std::vector<traj::Trajectory>& trajs,
+                              eval::EncodeMode mode,
+                              int64_t batch_size = 64) const;
+
+ private:
+  FrozenEncoder() = default;
+
+  std::unique_ptr<core::StartModel> model_;
+  tensor::Tensor ext_table_;  ///< Precomputed [V+2, d] token lookup table.
+};
+
+}  // namespace start::serve
+
+#endif  // START_SERVE_FROZEN_ENCODER_H_

@@ -93,16 +93,29 @@ RankMetrics MostSimilarSearchEmbeddings(const std::vector<float>& queries,
 std::vector<int64_t> TopK(int64_t database_size, int64_t k,
                           const std::function<double(int64_t)>& distance) {
   START_CHECK_GT(k, 0);
-  std::vector<std::pair<double, int64_t>> scored;
-  scored.reserve(static_cast<size_t>(database_size));
-  for (int64_t i = 0; i < database_size; ++i) {
-    scored.emplace_back(distance(i), i);
-  }
   const size_t kk = static_cast<size_t>(std::min(k, database_size));
-  std::partial_sort(scored.begin(), scored.begin() + kk, scored.end());
+  // Bounded max-heap selection: the root is the worst candidate kept, so a
+  // new item enters only when it beats the root. O(N log k) time and O(k)
+  // memory — the seed materialised and sorted all N distances. Candidates
+  // compare as (distance, index) pairs, so exact distance ties resolve
+  // toward the smaller database index, as before.
+  std::vector<std::pair<double, int64_t>> heap;
+  heap.reserve(kk);
+  for (int64_t i = 0; i < database_size; ++i) {
+    const std::pair<double, int64_t> candidate(distance(i), i);
+    if (heap.size() < kk) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (candidate < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());  // ascending distance
   std::vector<int64_t> out;
   out.reserve(kk);
-  for (size_t i = 0; i < kk; ++i) out.push_back(scored[i].second);
+  for (const auto& [d, i] : heap) out.push_back(i);
   return out;
 }
 

@@ -32,7 +32,12 @@ RankMetrics MostSimilarSearchEmbeddings(const std::vector<float>& queries,
                                         int64_t database_size, int64_t dim,
                                         const std::vector<int64_t>& gt_index);
 
-/// Indices of the k nearest database items for query q (ascending distance).
+/// \brief Indices of the k nearest database items (ascending distance, exact
+/// ties broken toward the smaller index).
+///
+/// Bounded-heap selection: O(database_size · log k) time, O(k) memory, so
+/// serving-sized databases never pay for a full sort. Also the selection
+/// primitive behind serve::EmbeddingIndex queries.
 std::vector<int64_t> TopK(int64_t database_size, int64_t k,
                           const std::function<double(int64_t)>& distance);
 

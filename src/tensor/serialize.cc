@@ -1,9 +1,13 @@
 #include "tensor/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace start::tensor {
@@ -112,6 +116,12 @@ common::Result<LoadedBundle> LoadLegacyBody(std::FILE* f,
     uint32_t name_len = 0;
     if (!ReadBytes(f, &name_len, sizeof(name_len))) {
       return common::Status::IOError("read name length failed: " + path);
+    }
+    // Same bound as the v2 reader: a corrupt length word must not drive a
+    // multi-gigabyte allocation before any other validation runs.
+    if (name_len > 4096) {
+      return common::Status::InvalidArgument("implausible name length in " +
+                                             path);
     }
     std::string name(name_len, '\0');
     uint32_t ndim = 0;
@@ -224,10 +234,29 @@ common::Status SaveBundle(const std::string& path, uint64_t meta_tag,
     if (std::fflush(f.get()) != 0) {
       return common::Status::IOError("flush failed: " + tmp_path);
     }
+    // Durability half of the atomic replace: rename() orders metadata, not
+    // data blocks — without this fsync a power cut shortly after the rename
+    // can leave the target pointing at an empty file, destroying the
+    // previous good checkpoint (the exact event this dance exists for).
+    if (fsync(fileno(f.get())) != 0) {
+      return common::Status::IOError("fsync failed: " + tmp_path);
+    }
   }  // closes the file before the rename
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     return common::Status::IOError("rename " + tmp_path + " -> " + path +
                                    " failed");
+  }
+  // Persist the rename itself (the directory entry). Best effort: some
+  // filesystems refuse O_RDONLY fsync on directories; the data-block fsync
+  // above already rules out the destructive failure mode.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    (void)fsync(dir_fd);
+    (void)close(dir_fd);
   }
   return common::Status::OK();
 }

@@ -1,0 +1,467 @@
+// Serving-plane tests: FrozenEncoder artifact loading (including fuzzed /
+// truncated / corrupt checkpoint files — the pure-Status boundary),
+// equivalence with the eval-plane encoder, batch-composition invariance (the
+// property micro-batch coalescing rests on), the EmbeddingService request
+// path, and EmbeddingIndex add/remove/query semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "eval/tasks.h"
+#include "core/start_encoder.h"
+#include "core/start_model.h"
+#include "data/dataset.h"
+#include "roadnet/synthetic_city.h"
+#include "serve/embedding_index.h"
+#include "serve/embedding_service.h"
+#include "serve/frozen_encoder.h"
+#include "traj/trip_generator.h"
+
+namespace start {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new roadnet::RoadNetwork(roadnet::BuildSyntheticCity(
+        {.grid_width = 6, .grid_height = 6, .seed = 3}));
+    traffic_ = new traj::TrafficModel(city_, {});
+    traj::TripGenerator::Config config;
+    config.num_drivers = 6;
+    config.num_days = 6;
+    config.trips_per_driver_day = 3.0;
+    config.seed = 44;
+    traj::TripGenerator gen(traffic_, config);
+    data::DatasetConfig ds;
+    ds.min_length = 5;
+    ds.min_user_trajectories = 2;
+    corpus_ = new std::vector<traj::Trajectory>(
+        data::TrajDataset::FromCorpus(*city_, gen.Generate(), ds).All());
+    ASSERT_GE(corpus_->size(), 16u);
+    transfer_ = new roadnet::TransferProbability(
+        roadnet::TransferProbability::FromTrajectories(*city_, [] {
+          std::vector<std::vector<int64_t>> seqs;
+          for (const auto& t : *corpus_) seqs.push_back(t.roads);
+          return seqs;
+        }()));
+    config_ = new core::StartConfig(TinyConfig());
+    common::Rng rng(7);
+    model_ = new core::StartModel(*config_, city_, transfer_, &rng);
+    checkpoint_path_ = new std::string(TempPath("serve_model.sttn"));
+    ASSERT_TRUE(core::SaveModelCheckpoint(*checkpoint_path_, *model_,
+                                          core::HashStartConfig(*config_))
+                    .ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete checkpoint_path_;
+    delete model_;
+    delete config_;
+    delete transfer_;
+    delete corpus_;
+    delete traffic_;
+    delete city_;
+    checkpoint_path_ = nullptr;
+    model_ = nullptr;
+    config_ = nullptr;
+    transfer_ = nullptr;
+    corpus_ = nullptr;
+    traffic_ = nullptr;
+    city_ = nullptr;
+  }
+
+  static core::StartConfig TinyConfig() {
+    core::StartConfig config;
+    config.d = 16;
+    config.gat_layers = 2;
+    config.gat_heads = {4, 1};
+    config.encoder_layers = 2;
+    config.encoder_heads = 2;
+    config.max_len = 96;
+    return config;
+  }
+
+  static std::unique_ptr<serve::FrozenEncoder> LoadFrozen() {
+    auto result = serve::FrozenEncoder::Load(*checkpoint_path_, *config_,
+                                             city_, transfer_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  static roadnet::RoadNetwork* city_;
+  static traj::TrafficModel* traffic_;
+  static std::vector<traj::Trajectory>* corpus_;
+  static roadnet::TransferProbability* transfer_;
+  static core::StartConfig* config_;
+  static core::StartModel* model_;
+  static std::string* checkpoint_path_;
+};
+
+roadnet::RoadNetwork* ServeTest::city_ = nullptr;
+traj::TrafficModel* ServeTest::traffic_ = nullptr;
+std::vector<traj::Trajectory>* ServeTest::corpus_ = nullptr;
+roadnet::TransferProbability* ServeTest::transfer_ = nullptr;
+core::StartConfig* ServeTest::config_ = nullptr;
+core::StartModel* ServeTest::model_ = nullptr;
+std::string* ServeTest::checkpoint_path_ = nullptr;
+
+TEST_F(ServeTest, FrozenEncoderMatchesEvalEncoderBitwise) {
+  const auto frozen = LoadFrozen();
+  core::StartEncoder eval_encoder(model_);
+  const auto expected =
+      eval_encoder.EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  const auto got = frozen->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  ASSERT_EQ(expected.size(), got.size());
+  EXPECT_EQ(std::memcmp(expected.data(), got.data(),
+                        expected.size() * sizeof(float)),
+            0);
+}
+
+TEST_F(ServeTest, FrozenEncoderHasNoGradState) {
+  const auto frozen = LoadFrozen();
+  // The frozen snapshot records no autograd state even when the calling
+  // thread is in grad mode (the default here).
+  const std::vector<const traj::Trajectory*> batch = {&(*corpus_)[0]};
+  const tensor::Tensor reps =
+      frozen->EncodeBatch(batch, eval::EncodeMode::kFull);
+  EXPECT_FALSE(reps.requires_grad());
+  EXPECT_FALSE(reps.has_grad());
+}
+
+TEST_F(ServeTest, EncodingIsInvariantToBatchComposition) {
+  // The property EmbeddingService coalescing rests on: a trajectory's row is
+  // bitwise identical whether encoded alone or padded into a mixed batch.
+  const auto frozen = LoadFrozen();
+  ASSERT_GE(corpus_->size(), 4u);
+  std::vector<const traj::Trajectory*> mixed;
+  for (size_t i = 0; i < 4; ++i) mixed.push_back(&(*corpus_)[i]);
+  const tensor::Tensor batched =
+      frozen->EncodeBatch(mixed, eval::EncodeMode::kFull);
+  for (size_t i = 0; i < mixed.size(); ++i) {
+    const tensor::Tensor alone =
+        frozen->EncodeBatch({mixed[i]}, eval::EncodeMode::kFull);
+    EXPECT_EQ(std::memcmp(batched.data() + i * frozen->dim(), alone.data(),
+                          static_cast<size_t>(frozen->dim()) * sizeof(float)),
+              0)
+        << "row " << i << " differs between mixed batch and solo encode";
+  }
+}
+
+TEST_F(ServeTest, ValidateScreensBadRequests) {
+  const auto frozen = LoadFrozen();
+  traj::Trajectory empty;
+  EXPECT_FALSE(frozen->Validate(empty).ok());
+
+  traj::Trajectory too_long = (*corpus_)[0];
+  too_long.roads.assign(static_cast<size_t>(frozen->max_len() + 1), 0);
+  too_long.timestamps.assign(too_long.roads.size(), 0);
+  EXPECT_FALSE(frozen->Validate(too_long).ok());
+
+  traj::Trajectory bad_road = (*corpus_)[0];
+  bad_road.roads[0] = city_->num_segments() + 7;
+  EXPECT_FALSE(frozen->Validate(bad_road).ok());
+
+  EXPECT_TRUE(frozen->Validate((*corpus_)[0]).ok());
+}
+
+TEST_F(ServeTest, LoadRejectsMissingFile) {
+  const auto result = serve::FrozenEncoder::Load(
+      TempPath("no_such_checkpoint.sttn"), *config_, city_, transfer_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ServeTest, LoadRejectsWrongArchitecture) {
+  core::StartConfig wider = *config_;
+  wider.d = 32;
+  wider.gat_heads = {4, 1};
+  const auto result =
+      serve::FrozenEncoder::Load(*checkpoint_path_, wider, city_, transfer_);
+  EXPECT_FALSE(result.ok());  // per-tensor shape mismatch
+}
+
+TEST_F(ServeTest, LoadSurvivesTruncatedAndCorruptFiles) {
+  // Fuzz-ish sweep over the artifact boundary: every truncation prefix and a
+  // deterministic set of byte corruptions must come back as a Status — never
+  // a crash or a CHECK abort.
+  const std::vector<uint8_t> good = ReadFileBytes(*checkpoint_path_);
+  ASSERT_GT(good.size(), 64u);
+  const std::string path = TempPath("serve_fuzz.sttn");
+
+  // Truncations: dense near the header, sampled through the payload.
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < 64; ++i) cuts.push_back(i);
+  for (size_t i = 64; i < good.size(); i += good.size() / 97 + 1) {
+    cuts.push_back(i);
+  }
+  for (const size_t cut : cuts) {
+    WriteFileBytes(path,
+                   std::vector<uint8_t>(good.begin(), good.begin() + cut));
+    const auto result =
+        serve::FrozenEncoder::Load(path, *config_, city_, transfer_);
+    EXPECT_FALSE(result.ok()) << "truncation at " << cut << " loaded";
+  }
+
+  // Byte corruptions across the whole file. Flips inside the header or any
+  // record must be rejected (magic/version/size checks or CRC). Payload bit
+  // flips are CRC-caught, so corruption never silently loads. Bytes 8..15
+  // are exempt: they hold the advisory config hash, which by design loads
+  // with a warning (shapes are checked per tensor).
+  common::Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> bad = good;
+    size_t at = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(bad.size())));
+    if (at >= 8 && at < 16) at += 8;
+    bad[at] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+    WriteFileBytes(path, bad);
+    const auto result =
+        serve::FrozenEncoder::Load(path, *config_, city_, transfer_);
+    EXPECT_FALSE(result.ok()) << "byte flip at " << at << " loaded";
+  }
+
+  // Pure garbage of various sizes.
+  for (const size_t n : {0u, 1u, 7u, 64u, 4096u}) {
+    std::vector<uint8_t> garbage(n);
+    for (auto& b : garbage) {
+      b = static_cast<uint8_t>(rng.UniformInt(256));
+    }
+    WriteFileBytes(path, garbage);
+    const auto result =
+        serve::FrozenEncoder::Load(path, *config_, city_, transfer_);
+    EXPECT_FALSE(result.ok()) << "garbage of " << n << " bytes loaded";
+  }
+}
+
+TEST_F(ServeTest, ServiceMatchesDirectEncodes) {
+  const auto frozen = LoadFrozen();
+  serve::ServiceConfig sc;
+  sc.num_workers = 2;
+  sc.batch_deadline_us = 100;
+  serve::EmbeddingService service(frozen.get(), sc);
+
+  const size_t n = std::min<size_t>(corpus_->size(), 16);
+  std::vector<std::future<serve::EmbeddingRow>> futures;
+  for (size_t i = 0; i < n; ++i) {
+    auto result = service.Encode((*corpus_)[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    futures.push_back(std::move(result).value());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const serve::EmbeddingRow row = futures[i].get();
+    const tensor::Tensor direct =
+        frozen->EncodeBatch({&(*corpus_)[i]}, eval::EncodeMode::kFull);
+    ASSERT_EQ(row.dim(), frozen->dim());
+    EXPECT_EQ(std::memcmp(row.data(), direct.data(),
+                          static_cast<size_t>(row.dim()) * sizeof(float)),
+              0)
+        << "request " << i;
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests, static_cast<int64_t>(n));
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_LE(stats.batches, stats.requests);
+  EXPECT_GT(stats.padding_efficiency(), 0.0);
+}
+
+TEST_F(ServeTest, ServiceRejectsInvalidRequestsSynchronously) {
+  const auto frozen = LoadFrozen();
+  serve::EmbeddingService service(frozen.get());
+  traj::Trajectory empty;
+  EXPECT_FALSE(service.Encode(empty).ok());
+  const auto sync = service.EncodeSync((*corpus_)[0]);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_EQ(static_cast<int64_t>(sync.value().size()), frozen->dim());
+}
+
+TEST_F(ServeTest, EmbeddingRowsShareBatchStorageZeroCopy) {
+  const auto frozen = LoadFrozen();
+  serve::ServiceConfig sc;
+  sc.batch_deadline_us = 20000;  // generous window: coalesce all four
+  sc.bucket_width = 1 << 20;     // single bucket: one batch
+  serve::EmbeddingService service(frozen.get(), sc);
+  std::vector<std::future<serve::EmbeddingRow>> futures;
+  for (size_t i = 0; i < 4; ++i) {
+    auto result = service.Encode((*corpus_)[i]);
+    ASSERT_TRUE(result.ok());
+    futures.push_back(std::move(result).value());
+  }
+  std::vector<serve::EmbeddingRow> rows;
+  for (auto& f : futures) rows.push_back(f.get());
+  if (service.stats().batches == 1) {
+    // All rows alias one dense [4, d] buffer: consecutive row pointers.
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].data(), rows[0].data() + i * rows[0].dim());
+    }
+  }
+}
+
+TEST_F(ServeTest, LinearProbeLeavesEncoderFrozen) {
+  // The finetune_encoder=false task path embeds the split once through the
+  // no-grad inference surface and trains only the head: encoder parameters
+  // must come out bitwise untouched and the probe must still fit.
+  core::StartEncoder encoder(model_);
+  std::vector<std::vector<float>> before;
+  for (const auto& p : model_->Parameters()) {
+    const tensor::Tensor dense = p.is_contiguous() ? p : p.Detach();
+    before.emplace_back(dense.data(), dense.data() + dense.numel());
+  }
+  const size_t split = corpus_->size() / 2;
+  const std::vector<traj::Trajectory> train(corpus_->begin(),
+                                            corpus_->begin() + split);
+  const std::vector<traj::Trajectory> test(corpus_->begin() + split,
+                                           corpus_->end());
+  eval::TaskConfig task;
+  task.epochs = 2;
+  task.batch_size = 8;
+  task.finetune_encoder = false;
+  const auto result = eval::FinetuneEta(&encoder, train, test, task);
+  EXPECT_TRUE(std::isfinite(result.metrics.mae));
+  EXPECT_EQ(result.pred_minutes.size(), test.size());
+  const auto params = model_->Parameters();
+  ASSERT_EQ(params.size(), before.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const tensor::Tensor dense =
+        params[i].is_contiguous() ? params[i] : params[i].Detach();
+    EXPECT_EQ(std::memcmp(dense.data(), before[i].data(),
+                          before[i].size() * sizeof(float)),
+              0)
+        << "parameter " << i << " mutated by the linear probe";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EmbeddingIndex
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingIndexTest, QueryRanksByCosineSimilarity) {
+  serve::EmbeddingIndex index(2);
+  ASSERT_TRUE(index.Add(10, {1.0f, 0.0f}).ok());
+  ASSERT_TRUE(index.Add(20, {0.0f, 1.0f}).ok());
+  ASSERT_TRUE(index.Add(30, {1.0f, 1.0f}).ok());
+  EXPECT_EQ(index.size(), 3);
+
+  const auto result = index.Query({2.0f, 0.1f}, 2);  // closest to +x
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].id, 10);
+  EXPECT_EQ((*result)[1].id, 30);
+  EXPECT_GT((*result)[0].score, (*result)[1].score);
+  // Normalization: magnitude does not matter.
+  const auto scaled = index.Query({200.0f, 10.0f}, 2);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ((*scaled)[0].id, 10);
+  EXPECT_FLOAT_EQ((*scaled)[0].score, (*result)[0].score);
+}
+
+TEST(EmbeddingIndexTest, ExactTiesBreakTowardEarlierInsertion) {
+  serve::EmbeddingIndex index(2);
+  // Two identical embeddings under different ids: a perfect tie.
+  ASSERT_TRUE(index.Add(7, {3.0f, 4.0f}).ok());
+  ASSERT_TRUE(index.Add(5, {3.0f, 4.0f}).ok());
+  ASSERT_TRUE(index.Add(1, {-4.0f, 3.0f}).ok());
+  const auto result = index.Query({3.0f, 4.0f}, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0].id, 7);  // inserted before id 5
+  EXPECT_EQ((*result)[1].id, 5);
+  EXPECT_EQ((*result)[2].id, 1);
+}
+
+TEST(EmbeddingIndexTest, AddRemoveContainsLifecycle) {
+  serve::EmbeddingIndex index(3);
+  ASSERT_TRUE(index.Add(1, {1, 0, 0}).ok());
+  ASSERT_TRUE(index.Add(2, {0, 1, 0}).ok());
+  ASSERT_TRUE(index.Add(3, {0, 0, 1}).ok());
+  EXPECT_TRUE(index.Add(2, {1, 1, 1}).code() ==
+              common::StatusCode::kAlreadyExists);
+  EXPECT_TRUE(index.Contains(2));
+  ASSERT_TRUE(index.Remove(2).ok());
+  EXPECT_FALSE(index.Contains(2));
+  EXPECT_EQ(index.size(), 2);
+  EXPECT_TRUE(index.Remove(2).code() == common::StatusCode::kNotFound);
+  // Removed entries stop matching; survivors still do (swap-with-last).
+  const auto result = index.Query({0, 0, 1}, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].id, 3);
+}
+
+TEST(EmbeddingIndexTest, RejectsMalformedInput) {
+  serve::EmbeddingIndex index(4);
+  EXPECT_FALSE(index.Add(1, {1.0f, 2.0f}).ok());        // wrong dim
+  EXPECT_FALSE(index.Add(1, {0, 0, 0, 0}).ok());        // zero norm
+  ASSERT_TRUE(index.Add(1, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(index.Query({1.0f, 2.0f}, 1).ok());      // wrong dim
+  EXPECT_FALSE(index.Query({0, 0, 0, 0}, 1).ok());      // zero norm
+  EXPECT_FALSE(index.Query({1, 2, 3, 4}, 0).ok());      // bad k
+  const auto result = index.Query({1, 2, 3, 4}, 10);    // k > size: clamped
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(EmbeddingIndexTest, AddBatchIsAtomic) {
+  serve::EmbeddingIndex index(2);
+  ASSERT_TRUE(index.Add(5, {1, 0}).ok());
+  // Second row collides with id 5: nothing from the batch may land.
+  EXPECT_FALSE(index.AddBatch({9, 5}, {1, 0, 0, 1}).ok());
+  EXPECT_FALSE(index.Contains(9));
+  EXPECT_EQ(index.size(), 1);
+  // Zero row mid-batch: same story.
+  EXPECT_FALSE(index.AddBatch({11, 12}, {1, 0, 0, 0}).ok());
+  EXPECT_FALSE(index.Contains(11));
+  // Duplicate ids inside one batch would desynchronise the slot/id maps.
+  EXPECT_FALSE(index.AddBatch({13, 13}, {1, 0, 0, 1}).ok());
+  EXPECT_FALSE(index.Contains(13));
+  EXPECT_EQ(index.size(), 1);
+}
+
+TEST(EmbeddingIndexTest, EvaluateMostSimilarSelfRetrieval) {
+  common::Rng rng(9);
+  const int64_t n = 20, d = 8;
+  serve::EmbeddingIndex index(d);
+  std::vector<float> rows(static_cast<size_t>(n * d));
+  for (auto& v : rows) v = static_cast<float>(rng.Normal());
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < n; ++i) ids.push_back(100 + i);
+  ASSERT_TRUE(index.AddBatch(ids, rows).ok());
+  // Querying with the database rows themselves: every query's ground truth
+  // is its own id, so MR = 1 and HR@1 = 1.
+  const auto metrics = index.EvaluateMostSimilar(rows, n, ids);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_DOUBLE_EQ(metrics->mean_rank, 1.0);
+  EXPECT_DOUBLE_EQ(metrics->hr_at_1, 1.0);
+  const auto missing = index.EvaluateMostSimilar(rows, n, {});
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace start

@@ -116,6 +116,40 @@ TEST(SearchTest, TopKReturnsAscendingDistances) {
   EXPECT_EQ(top, (std::vector<int64_t>{1, 3, 2}));
 }
 
+TEST(SearchTest, TopKHeapSelectionMatchesFullSort) {
+  // The bounded-heap selection must agree with a full stable (distance,
+  // index) sort for every k, including k >= N.
+  common::Rng rng(41);
+  const int64_t n = 257;
+  std::vector<double> dist(static_cast<size_t>(n));
+  for (auto& d : dist) d = rng.Uniform(0, 8);
+  std::vector<std::pair<double, int64_t>> ref;
+  for (int64_t i = 0; i < n; ++i) ref.emplace_back(dist[i], i);
+  std::sort(ref.begin(), ref.end());
+  for (const int64_t k : {1, 2, 7, 64, 256, 257, 400}) {
+    const auto top = TopK(n, k, [&](int64_t i) { return dist[i]; });
+    const size_t kk = static_cast<size_t>(std::min<int64_t>(k, n));
+    ASSERT_EQ(top.size(), kk) << "k=" << k;
+    for (size_t i = 0; i < kk; ++i) {
+      EXPECT_EQ(top[i], ref[i].second) << "k=" << k << " pos=" << i;
+    }
+  }
+}
+
+TEST(SearchTest, TopKBreaksExactTiesTowardSmallerIndex) {
+  // Duplicated distances: equal keys must come out in index order, and an
+  // equal-distance item beyond the cut must lose to the smaller index.
+  std::vector<double> dist = {2, 1, 2, 1, 2, 0.5};
+  EXPECT_EQ(TopK(6, 3, [&](int64_t i) { return dist[i]; }),
+            (std::vector<int64_t>{5, 1, 3}));
+  EXPECT_EQ(TopK(6, 5, [&](int64_t i) { return dist[i]; }),
+            (std::vector<int64_t>{5, 1, 3, 0, 2}));
+  // All-equal distances: the k smallest indices, ascending.
+  std::vector<double> flat(9, 3.25);
+  EXPECT_EQ(TopK(9, 4, [&](int64_t i) { return flat[i]; }),
+            (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
 TEST(SearchTest, KnnPrecisionPerfectWhenQueriesUnchanged) {
   const int64_t nq = 3, ndb = 30, d = 6;
   common::Rng rng(2);

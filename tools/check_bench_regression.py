@@ -50,6 +50,26 @@ HEADLINE_METRICS = {
             },
         ),
     ],
+    "BENCH_serve.json": [
+        # Frozen-engine corpus embedding vs the seed grad-tracking consumer
+        # path: algorithmic (no autograd capture, precomputed road table,
+        # bucketed batches), so stable across hosts.
+        (
+            "frozen-engine speedup",
+            lambda doc: {
+                "frozen_speedup_vs_seed": doc["frozen_speedup_vs_seed"]
+            },
+        ),
+        # Padding efficiency of service-coalesced batches (length bucketing
+        # inside the micro-batcher) — dimensionless and host-independent.
+        (
+            "service padding efficiency",
+            lambda doc: {
+                "service_padding_efficiency":
+                    doc["service_padding_efficiency"]
+            },
+        ),
+    ],
 }
 
 
