@@ -27,6 +27,11 @@ constexpr char kBatchCountKey[] = "trainer.batch_count";
 constexpr char kRngStateKey[] = "trainer.rng_state";
 constexpr char kScheduleKey[] = "trainer.schedule_fingerprint";
 constexpr char kPlanHashKey[] = "trainer.plan_hash";
+// Shard topology of the data-parallel engine: {num_shards, shard_grain,
+// accum_steps} plus the per-replica RNG cursors. Absent in pre-engine
+// checkpoints; ignored by older loaders — both directions stay compatible.
+constexpr char kShardTopologyKey[] = "trainer.shard_topology";
+constexpr char kShardRngKey[] = "trainer.shard_rng";
 
 void WarnOnHashMismatch(const std::string& path, uint64_t expected,
                         uint64_t actual) {
@@ -175,6 +180,11 @@ common::Status SaveTrainingCheckpoint(const std::string& path,
   bundle.uints[kRngStateKey] = state.rng_state;
   bundle.uints[kScheduleKey] = {state.schedule_fingerprint};
   bundle.uints[kPlanHashKey] = {state.plan_hash};
+  if (state.num_shards > 0) {
+    bundle.ints[kShardTopologyKey] = {state.num_shards, state.shard_grain,
+                                      state.accum_steps};
+    bundle.uints[kShardRngKey] = state.shard_rng;
+  }
   return tensor::SaveBundle(path, config_hash, bundle);
 }
 
@@ -270,6 +280,16 @@ common::Result<TrainerState> LoadTrainingCheckpoint(
   const auto plan_it = bundle.records.uints.find(kPlanHashKey);
   if (plan_it != bundle.records.uints.end() && !plan_it->second.empty()) {
     state.plan_hash = plan_it->second[0];
+  }
+  const auto topo_it = ints.find(kShardTopologyKey);
+  if (topo_it != ints.end() && topo_it->second.size() >= 3) {
+    state.num_shards = topo_it->second[0];
+    state.shard_grain = topo_it->second[1];
+    state.accum_steps = topo_it->second[2];
+  }
+  const auto shard_rng_it = bundle.records.uints.find(kShardRngKey);
+  if (shard_rng_it != bundle.records.uints.end()) {
+    state.shard_rng = shard_rng_it->second;
   }
   return state;
 }

@@ -69,6 +69,26 @@ struct TrainerState {
   /// reseeds the stream per step, so this is diagnostic; consumers that draw
   /// from a long-lived stream restore it to continue the exact sequence.
   std::vector<uint64_t> rng_state;
+
+  // --- Shard topology (data-parallel engine, core/parallel_trainer.h) ------
+  /// Replica count the checkpointing run used. Informational only: shard
+  /// count is a pure scheduling knob (K shards are bitwise-identical to 1),
+  /// so a resume may legally use a different value — asserted by
+  /// tests/parallel_trainer_test.cc.
+  int64_t num_shards = 0;  ///< 0 = legacy single-replica loop.
+  /// Micro-shard decomposition grain (samples per shard). Unlike num_shards
+  /// this *defines* the gradient summation order, so it is folded into the
+  /// plan hash: resuming under a different grain is refused.
+  int64_t shard_grain = 0;
+  /// Micro-batches combined per optimizer step; also summation-order-defining
+  /// and plan-hash-folded.
+  int64_t accum_steps = 1;
+  /// Per-replica dropout-stream cursors at save time (6 words per shard,
+  /// common::Rng::GetState layout). Diagnostic like `rng_state`: the engine
+  /// reseeds every (optimizer step, micro-shard) pair via StepSeed, so the
+  /// cursors document where each replica's stream stopped rather than being
+  /// required to resume it.
+  std::vector<uint64_t> shard_rng;
 };
 
 /// True when `path` exists and is readable (the resume probe).

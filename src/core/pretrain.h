@@ -59,6 +59,29 @@ struct PretrainConfig {
   /// Stop after this many optimizer steps past the resume point (0 = run the
   /// whole plan). Simulates interruption; pair with `checkpoint_path`.
   int64_t max_steps = 0;
+
+  // --- Data-parallel sharding (see core/parallel_trainer.h) ---------------
+  /// Model replicas training in data parallel. A pure *scheduling* knob:
+  /// for any fixed (shard_grain, accum_steps) decomposition, every value of
+  /// num_shards — including 1 — produces bitwise-identical parameters,
+  /// optimizer state, and loss curves (the fixed-order tree all-reduce
+  /// pins every gradient summation order).
+  int num_shards = 1;
+  /// Trajectories per micro-shard. Defines the gradient summation order
+  /// (training semantics, folded into the resume plan hash); 0 = one shard
+  /// per micro-batch. Pick ~batch_size / num_shards for load balance.
+  int64_t shard_grain = 0;
+  /// Micro-batches combined per optimizer step, on the same reduction path.
+  /// The group's losses are evaluated jointly, so accumulation enlarges the
+  /// effective (contrastive) batch; also summation-order-defining.
+  int64_t accum_steps = 1;
+
+  /// True when this config routes through the sharded engine instead of the
+  /// legacy single-replica loop (whose floating-point stream is preserved
+  /// exactly for default configs).
+  bool UsesShardedEngine() const {
+    return num_shards > 1 || shard_grain > 0 || accum_steps > 1;
+  }
 };
 
 /// \brief Per-epoch telemetry of a pre-training run.

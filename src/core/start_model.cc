@@ -15,7 +15,10 @@ StartModel::StartModel(const StartConfig& config,
                        const roadnet::RoadNetwork* net,
                        const roadnet::TransferProbability* transfer,
                        common::Rng* rng)
-    : config_(config), net_(net), num_roads_(net->num_segments()) {
+    : config_(config),
+      net_(net),
+      transfer_(transfer),
+      num_roads_(net->num_segments()) {
   START_CHECK(net != nullptr);
   START_CHECK(net->finalized());
   const int64_t d = config_.d;

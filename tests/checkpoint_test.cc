@@ -16,6 +16,7 @@
 #include "roadnet/synthetic_city.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
+#include "testing.h"
 
 namespace start {
 namespace {
@@ -29,38 +30,17 @@ using tensor::RecordBundle;
 using tensor::SaveBundle;
 using tensor::Shape;
 using tensor::Tensor;
+using testutil::ReadFileBytes;
+using testutil::WriteFileBytes;
 
+/// One scratch directory per test binary, removed at exit.
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
-}
-
-std::vector<uint8_t> ReadFileBytes(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  EXPECT_NE(f, nullptr) << path;
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
-  return bytes;
-}
-
-void WriteFileBytes(const std::string& path,
-                    const std::vector<uint8_t>& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(f, nullptr) << path;
-  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
+  static testutil::TempDir dir;
+  return dir.File(name);
 }
 
 void ExpectTensorsBitwiseEqual(const Tensor& a, const Tensor& b) {
-  ASSERT_EQ(a.shape(), b.shape());
-  const Tensor da = a.is_contiguous() ? a : a.Detach();
-  const Tensor db = b.is_contiguous() ? b : b.Detach();
-  EXPECT_EQ(std::memcmp(da.data(), db.data(),
-                        static_cast<size_t>(da.numel()) * sizeof(float)),
-            0);
+  testutil::ExpectTensorBitwiseEqual(a, b);
 }
 
 TEST(CheckpointBundleTest, TypedRecordsRoundTripBitwise) {

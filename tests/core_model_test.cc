@@ -5,8 +5,8 @@
 
 #include "core/start_encoder.h"
 #include "data/span_mask.h"
-#include "roadnet/synthetic_city.h"
 #include "tensor/ops.h"
+#include "testing.h"
 #include "traj/trip_generator.h"
 
 namespace start::core {
@@ -18,31 +18,32 @@ using tensor::Tensor;
 class StartModelTest : public ::testing::Test {
  protected:
   StartModelTest()
-      : net_(roadnet::BuildSyntheticCity(
-            {.grid_width = 5, .grid_height = 5})),
-        traffic_(&net_, {}) {
+      : world_([] {
+          // No corpus needed here — trips are generated per test.
+          testutil::TinyWorldOptions options;
+          options.num_drivers = 2;
+          options.num_days = 1;
+          options.trips_per_driver_day = 2.0;
+          options.min_user_trajectories = 1;
+          return testutil::MakeTinyWorld(options);
+        }()),
+        net_(*world_->net),
+        traffic_(*world_->traffic) {
     gen_config_.num_drivers = 3;
     gen_config_.seed = 555;
   }
 
   StartConfig SmallConfig() const {
-    StartConfig config;
-    config.d = 16;
+    StartConfig config = testutil::TinyStartConfig();
     config.gat_layers = 2;
     config.gat_heads = {4, 1};
     config.encoder_layers = 2;
-    config.encoder_heads = 2;
-    config.max_len = 64;
     config.dropout = 0.0f;
     return config;
   }
 
   roadnet::TransferProbability MakeTransfer() const {
-    std::vector<std::vector<int64_t>> seqs;
-    for (size_t e = 0; e < net_.edge_sources().size(); ++e) {
-      seqs.push_back({net_.edge_sources()[e], net_.edge_targets()[e]});
-    }
-    return roadnet::TransferProbability::FromTrajectories(net_, seqs);
+    return testutil::EdgePairTransfer(net_);
   }
 
   traj::Trajectory MakeTrip(int64_t src, int64_t dst, int64_t depart) {
@@ -50,8 +51,9 @@ class StartModelTest : public ::testing::Test {
     return gen.GenerateTrip(0, src, dst, depart);
   }
 
-  roadnet::RoadNetwork net_;
-  traj::TrafficModel traffic_;
+  std::unique_ptr<testutil::TinyWorld> world_;
+  roadnet::RoadNetwork& net_;
+  traj::TrafficModel& traffic_;
   traj::TripGenerator::Config gen_config_;
 };
 
@@ -196,8 +198,8 @@ TEST_F(StartModelTest, SaveLoadRestoresEncoding) {
   b.SetTraining(false);
   const auto trip = MakeTrip(0, net_.num_segments() - 1, 9 * 3600);
   const data::Batch batch = data::MakeBatch({data::MakeView(trip)});
-  const std::string path =
-      std::string(::testing::TempDir()) + "/start_model.sttn";
+  testutil::TempDir dir;
+  const std::string path = dir.File("start_model.sttn");
   ASSERT_TRUE(a.Save(path).ok());
   ASSERT_TRUE(b.Load(path).ok());
   const auto ea = a.Encode(batch);

@@ -2,64 +2,39 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <cstring>
-
+#include "data/batch.h"
 #include "data/dataset.h"
 #include "data/loader.h"
 #include "data/span_mask.h"
-#include "roadnet/synthetic_city.h"
-#include "traj/trip_generator.h"
+#include "testing.h"
 
 namespace start::core {
 namespace {
 
+// Fixture world and model scale come from the shared harness
+// (tests/testing.h); this file keeps only pretrain-specific logic.
 class PretrainTest : public ::testing::Test {
  protected:
   PretrainTest()
-      : net_(roadnet::BuildSyntheticCity(
-            {.grid_width = 5, .grid_height = 5})),
-        traffic_(&net_, {}) {
-    traj::TripGenerator::Config config;
-    config.num_drivers = 8;
-    config.num_days = 8;
-    config.trips_per_driver_day = 4.0;
-    traj::TripGenerator gen(&traffic_, config);
-    auto raw = gen.Generate();
-    data::DatasetConfig ds;
-    ds.min_length = 5;
-    ds.min_user_trajectories = 5;
-    corpus_ = data::TrajDataset::FromCorpus(net_, std::move(raw), ds).All();
-    transfer_ = std::make_unique<roadnet::TransferProbability>(
-        roadnet::TransferProbability::FromTrajectories(
-            net_, [&] {
-              std::vector<std::vector<int64_t>> seqs;
-              for (const auto& t : corpus_) seqs.push_back(t.roads);
-              return seqs;
-            }()));
-  }
+      : world_(testutil::MakeTinyWorld()),
+        net_(*world_->net),
+        traffic_(*world_->traffic),
+        corpus_(world_->corpus),
+        transfer_(world_->transfer.get()) {}
 
-  StartConfig TinyConfig() const {
-    StartConfig config;
-    config.d = 16;
-    config.gat_layers = 1;
-    config.gat_heads = {2};
-    config.encoder_layers = 1;
-    config.encoder_heads = 2;
-    config.max_len = 64;
-    return config;
-  }
+  StartConfig TinyConfig() const { return testutil::TinyStartConfig(); }
 
-  roadnet::RoadNetwork net_;
-  traj::TrafficModel traffic_;
-  std::vector<traj::Trajectory> corpus_;
-  std::unique_ptr<roadnet::TransferProbability> transfer_;
+  std::unique_ptr<testutil::TinyWorld> world_;
+  roadnet::RoadNetwork& net_;
+  traj::TrafficModel& traffic_;
+  std::vector<traj::Trajectory>& corpus_;
+  roadnet::TransferProbability* transfer_;
 };
 
 TEST_F(PretrainTest, LossDecreasesOverEpochs) {
   ASSERT_GT(corpus_.size(), 30u);
   common::Rng rng(1);
-  StartModel model(TinyConfig(), &net_, transfer_.get(), &rng);
+  StartModel model(TinyConfig(), &net_, transfer_, &rng);
   PretrainConfig config;
   config.epochs = 4;
   config.batch_size = 8;
@@ -71,7 +46,7 @@ TEST_F(PretrainTest, LossDecreasesOverEpochs) {
 
 TEST_F(PretrainTest, MaskOnlyVariantTrains) {
   common::Rng rng(2);
-  StartModel model(TinyConfig(), &net_, transfer_.get(), &rng);
+  StartModel model(TinyConfig(), &net_, transfer_, &rng);
   PretrainConfig config;
   config.epochs = 2;
   config.batch_size = 8;
@@ -83,7 +58,7 @@ TEST_F(PretrainTest, MaskOnlyVariantTrains) {
 
 TEST_F(PretrainTest, ContrastiveOnlyVariantTrains) {
   common::Rng rng(3);
-  StartModel model(TinyConfig(), &net_, transfer_.get(), &rng);
+  StartModel model(TinyConfig(), &net_, transfer_, &rng);
   PretrainConfig config;
   config.epochs = 4;
   config.batch_size = 8;
@@ -104,7 +79,7 @@ TEST_F(PretrainTest, MaskedRecoveryBeatsChance) {
   model_config.gat_layers = 2;
   model_config.gat_heads = {4, 1};
   model_config.encoder_layers = 2;
-  StartModel model(model_config, &net_, transfer_.get(), &rng);
+  StartModel model(model_config, &net_, transfer_, &rng);
   PretrainConfig config;
   config.epochs = 40;
   config.batch_size = 8;
@@ -166,6 +141,7 @@ TEST_F(PretrainTest, ResumeMatchesUninterruptedRunBitwise) {
           .steps.size());
   ASSERT_GT(total_steps, 3);
 
+  testutil::TempDir dir;
   for (const int workers : {0, 2}) {
     SCOPED_TRACE("num_workers=" + std::to_string(workers));
     PretrainConfig config = base;
@@ -173,16 +149,15 @@ TEST_F(PretrainTest, ResumeMatchesUninterruptedRunBitwise) {
 
     // Reference: one uninterrupted run.
     common::Rng rng_full(77);
-    StartModel full(TinyConfig(), &net_, transfer_.get(), &rng_full);
+    StartModel full(TinyConfig(), &net_, transfer_, &rng_full);
     const PretrainStats stats_full =
         Pretrain(&full, corpus_, &traffic_, config);
 
     // Interrupted run: stop (and checkpoint) after K/2 steps...
-    const std::string ckpt = std::string(::testing::TempDir()) +
-                             "/resume_w" + std::to_string(workers) + ".sttn";
-    std::remove(ckpt.c_str());
+    const std::string ckpt =
+        dir.File("resume_w" + std::to_string(workers) + ".sttn");
     common::Rng rng_half(77);  // identical init to the reference run
-    StartModel half(TinyConfig(), &net_, transfer_.get(), &rng_half);
+    StartModel half(TinyConfig(), &net_, transfer_, &rng_half);
     PretrainConfig interrupted = config;
     interrupted.checkpoint_path = ckpt;
     interrupted.max_steps = total_steps / 2;
@@ -192,7 +167,7 @@ TEST_F(PretrainTest, ResumeMatchesUninterruptedRunBitwise) {
     // matters must come from the checkpoint. The resume side also swaps the
     // worker count (2 <-> 0) — determinism must hold across that too.
     common::Rng rng_resumed(1234);
-    StartModel resumed(TinyConfig(), &net_, transfer_.get(), &rng_resumed);
+    StartModel resumed(TinyConfig(), &net_, transfer_, &rng_resumed);
     PretrainConfig tail = config;
     tail.num_workers = workers == 0 ? 2 : 0;
     tail.checkpoint_path = ckpt;
@@ -200,21 +175,8 @@ TEST_F(PretrainTest, ResumeMatchesUninterruptedRunBitwise) {
     const PretrainStats stats_resumed =
         Pretrain(&resumed, corpus_, &traffic_, tail);
 
-    // Bitwise-identical parameters...
-    const auto named_full = full.NamedParameters();
-    const auto named_resumed = resumed.NamedParameters();
-    ASSERT_EQ(named_full.size(), named_resumed.size());
-    for (size_t i = 0; i < named_full.size(); ++i) {
-      ASSERT_EQ(named_full[i].first, named_resumed[i].first);
-      const auto& a = named_full[i].second;
-      const auto& b = named_resumed[i].second;
-      ASSERT_EQ(a.shape(), b.shape());
-      EXPECT_EQ(std::memcmp(a.data(), b.data(),
-                            static_cast<size_t>(a.numel()) * sizeof(float)),
-                0)
-          << "parameter diverged after resume: " << named_full[i].first;
-    }
-    // ...and a bitwise-identical per-epoch loss trace.
+    // Bitwise-identical parameters and a bitwise-identical loss trace.
+    testutil::ExpectParamsBitwiseEqual(full, resumed);
     ASSERT_EQ(stats_full.epoch_loss.size(), stats_resumed.epoch_loss.size());
     for (size_t e = 0; e < stats_full.epoch_loss.size(); ++e) {
       EXPECT_EQ(stats_full.epoch_loss[e], stats_resumed.epoch_loss[e]);
@@ -223,7 +185,6 @@ TEST_F(PretrainTest, ResumeMatchesUninterruptedRunBitwise) {
       EXPECT_EQ(stats_full.epoch_contrastive_loss[e],
                 stats_resumed.epoch_contrastive_loss[e]);
     }
-    std::remove(ckpt.c_str());
   }
 }
 
@@ -231,11 +192,10 @@ TEST_F(PretrainTest, ResumeMatchesUninterruptedRunBitwise) {
 // plan (changed epochs => changed schedule and step universe): the trainer
 // logs and restarts from scratch, which still trains successfully.
 TEST_F(PretrainTest, ResumeUnderDifferentPlanFallsBackToScratch) {
-  const std::string ckpt =
-      std::string(::testing::TempDir()) + "/plan_change.sttn";
-  std::remove(ckpt.c_str());
+  testutil::TempDir dir;
+  const std::string ckpt = dir.File("plan_change.sttn");
   common::Rng rng_a(5);
-  StartModel a(TinyConfig(), &net_, transfer_.get(), &rng_a);
+  StartModel a(TinyConfig(), &net_, transfer_, &rng_a);
   PretrainConfig config;
   config.epochs = 2;
   config.batch_size = 8;
@@ -243,7 +203,7 @@ TEST_F(PretrainTest, ResumeUnderDifferentPlanFallsBackToScratch) {
   Pretrain(&a, corpus_, &traffic_, config);
 
   common::Rng rng_b(6);
-  StartModel b(TinyConfig(), &net_, transfer_.get(), &rng_b);
+  StartModel b(TinyConfig(), &net_, transfer_, &rng_b);
   PretrainConfig changed = config;
   changed.epochs = 3;  // different plan -> resume refused, fresh run
   changed.resume = true;

@@ -5,6 +5,7 @@
 
 #include "roadnet/synthetic_city.h"
 #include "tensor/ops.h"
+#include "testing.h"
 
 namespace start::core {
 namespace {
@@ -18,12 +19,7 @@ roadnet::RoadNetwork SmallCity() {
 
 roadnet::TransferProbability UniformTransfer(
     const roadnet::RoadNetwork& net) {
-  // One pass over all edges so every edge has a nonzero probability.
-  std::vector<std::vector<int64_t>> seqs;
-  for (size_t e = 0; e < net.edge_sources().size(); ++e) {
-    seqs.push_back({net.edge_sources()[e], net.edge_targets()[e]});
-  }
-  return roadnet::TransferProbability::FromTrajectories(net, seqs);
+  return testutil::EdgePairTransfer(net);
 }
 
 TEST(TpeGatTest, OutputShapeMatches) {

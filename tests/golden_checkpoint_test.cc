@@ -1,0 +1,100 @@
+// Back-compat test over the COMMITTED golden checkpoint fixtures
+// (tests/fixtures/golden_v{1,2}.sttn, generated once by
+// tools/make_golden_fixtures.cc): today's loader must read yesterday's
+// artifacts bitwise. Unlike the round-trip tests in tensor_serialize_test /
+// checkpoint_test — which stay green when the writer and reader change
+// *together* — these fixtures pin the on-disk bytes, so any serializer
+// change that silently breaks old checkpoints fails here.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/serialize.h"
+#include "testing.h"
+
+namespace start::tensor {
+namespace {
+
+// The fixture payload formulas — keep in sync with
+// tools/make_golden_fixtures.cc.
+std::vector<float> GoldenAlpha() {
+  std::vector<float> v(12);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>(i) * 0.25f - 1.5f;
+  }
+  return v;
+}
+
+std::vector<float> GoldenLegacyTable() {
+  std::vector<float> v(12);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 2.0f - static_cast<float>(i) * 0.5f;
+  }
+  return v;
+}
+
+constexpr uint64_t kGoldenMetaTag = 0x60a1d2c3b4a59687ULL;
+
+std::vector<float> Flatten(const Tensor& t) {
+  const Tensor dense = t.is_contiguous() ? t : t.Detach();
+  return std::vector<float>(dense.data(), dense.data() + dense.numel());
+}
+
+TEST(GoldenCheckpointTest, V1ContainerReadsBitwise) {
+  const auto loaded =
+      LoadBundle(testutil::FixtureDir() + "/golden_v1.sttn");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString()
+                           << " — if the fixture is missing, regenerate via "
+                              "tools/make_golden_fixtures.cc (deliberate "
+                              "format breaks only)";
+  // v1 carries no meta tag; the loader must default it, not misparse bytes.
+  EXPECT_EQ(loaded->meta_tag, 0u);
+  ASSERT_EQ(loaded->records.tensors.size(), 1u);
+  const Tensor& t = loaded->records.tensors.at("legacy.table");
+  ASSERT_EQ(t.shape(), Shape({4, 3}));
+  testutil::ExpectFloatsBitwiseEqual(Flatten(t), GoldenLegacyTable(),
+                                     "legacy.table");
+}
+
+TEST(GoldenCheckpointTest, V2ContainerReadsBitwise) {
+  const auto loaded =
+      LoadBundle(testutil::FixtureDir() + "/golden_v2.sttn");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->meta_tag, kGoldenMetaTag);
+
+  ASSERT_EQ(loaded->records.tensors.size(), 2u);
+  const Tensor& alpha = loaded->records.tensors.at("weights.alpha");
+  ASSERT_EQ(alpha.shape(), Shape({3, 4}));
+  testutil::ExpectFloatsBitwiseEqual(Flatten(alpha), GoldenAlpha(),
+                                     "weights.alpha");
+  const Tensor& beta = loaded->records.tensors.at("weights.beta");
+  ASSERT_EQ(beta.shape(), Shape({2, 2, 2}));
+  testutil::ExpectFloatsBitwiseEqual(
+      Flatten(beta),
+      {8.0f, -4.0f, 2.0f, -1.0f, 0.5f, -0.25f, 0.125f, -0.0625f},
+      "weights.beta");
+
+  const std::vector<double> loss = {0.5, -1.25, 3.75};
+  EXPECT_EQ(loaded->records.doubles.at("trainer.loss_sum"), loss);
+  const std::vector<int64_t> cursor = {-3, 0, 1LL << 40};
+  EXPECT_EQ(loaded->records.ints.at("trainer.cursor"), cursor);
+  const std::vector<uint64_t> rng = {0x0123456789abcdefULL, ~0ULL};
+  EXPECT_EQ(loaded->records.uints.at("trainer.rng_state"), rng);
+}
+
+// A corrupted copy of the golden v2 fixture must still be REJECTED — the
+// committed bytes also pin that the CRC actually covers the payload.
+TEST(GoldenCheckpointTest, CorruptedGoldenV2IsRejected) {
+  auto bytes =
+      testutil::ReadFileBytes(testutil::FixtureDir() + "/golden_v2.sttn");
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x10;  // flip one payload bit
+  testutil::TempDir dir;
+  const std::string path = dir.File("golden_v2_corrupt.sttn");
+  testutil::WriteFileBytes(path, bytes);
+  const auto result = LoadBundle(path);
+  ASSERT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace start::tensor

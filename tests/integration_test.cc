@@ -10,6 +10,7 @@
 #include "eval/tasks.h"
 #include "roadnet/synthetic_city.h"
 #include "sim/search.h"
+#include "testing.h"
 #include "traj/trip_generator.h"
 
 namespace start {
@@ -50,12 +51,10 @@ class IntegrationTest : public ::testing::Test {
   }
 
   core::StartConfig TinyConfig() const {
-    core::StartConfig config;
-    config.d = 16;
+    core::StartConfig config = testutil::TinyStartConfig();
     config.gat_layers = 2;
     config.gat_heads = {4, 1};
     config.encoder_layers = 2;
-    config.encoder_heads = 2;
     config.max_len = 96;
     return config;
   }
@@ -164,8 +163,8 @@ TEST_F(IntegrationTest, TransferredModelLoadsAcrossCities) {
   common::Rng rng(5);
   core::StartModel source(TinyConfig(), city_, transfer_, &rng);
   core::Pretrain(&source, dataset_->train(), traffic_, QuickPretrain());
-  const std::string path =
-      std::string(::testing::TempDir()) + "/transfer.sttn";
+  testutil::TempDir dir;
+  const std::string path = dir.File("transfer.sttn");
   ASSERT_TRUE(source.Save(path).ok());
 
   const auto other_city = roadnet::BuildSyntheticCity(

@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 #include <set>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "core/start_model.h"
 #include "data/augmentation.h"
 #include "data/batch.h"
@@ -12,11 +16,31 @@
 #include "eval/metrics.h"
 #include "roadnet/shortest_path.h"
 #include "roadnet/synthetic_city.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "testing.h"
 #include "traj/trip_generator.h"
 
 namespace start {
 namespace {
+
+/// Runs `fn` under every OpenMP thread-count regime the build supports (1
+/// thread and the ambient default) — the strided-kernel properties below
+/// must hold, bitwise, regardless of how many threads the kernels fork. In
+/// OpenMP-less builds (e.g. the TSan CI job) this is a single serial run.
+template <typename Fn>
+void ForEachOmpRegime(Fn fn) {
+#ifdef _OPENMP
+  const int ambient = omp_get_max_threads();
+  omp_set_num_threads(1);
+  fn("omp_threads=1");
+  omp_set_num_threads(ambient > 1 ? ambient : 2);
+  fn("omp_threads=default");
+  omp_set_num_threads(ambient);
+#else
+  fn("openmp_off");
+#endif
+}
 
 // ---------------------------------------------------------------------------
 // Augmentation invariants over random seeds (Sec. III-C2).
@@ -273,6 +297,247 @@ TEST(EncoderPropertyTest, TrainingDropoutDiversifiesViews) {
     diff += std::fabs(a.cls.at({0, j}) - b.cls.at({0, j}));
   }
   EXPECT_GT(diff, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Strided kernel engine: GemmNN/NT/TN and broadcast elementwise ops against
+// naive scalar references, over randomized shapes / leading dimensions /
+// transposes, under both OpenMP regimes (see ForEachOmpRegime). The GEMMs
+// must also be bitwise-stable across thread counts: they parallelise over
+// independent output rows while each dot product stays a fixed serial fold —
+// the property the sharded trainer's determinism contract leans on.
+// ---------------------------------------------------------------------------
+
+class StridedGemmPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StridedGemmPropertyTest, MatchesNaiveReferenceAllVariants) {
+  common::Rng rng(testutil::TestSeed(GetParam()));
+  const int64_t m = 1 + rng.UniformInt(17);
+  const int64_t k = 1 + rng.UniformInt(23);
+  const int64_t n = 1 + rng.UniformInt(19);
+  // Random leading dimensions ≥ the row width simulate row-strided views
+  // (slices of a wider base matrix), the whole point of the strided API.
+  const int64_t lda_nn = k + rng.UniformInt(5);
+  const int64_t ldb_nn = n + rng.UniformInt(5);
+  const int64_t ldb_nt = k + rng.UniformInt(5);
+  const int64_t lda_tn = m + rng.UniformInt(5);
+  const int64_t ldc = n + rng.UniformInt(5);
+
+  const auto fill = [&rng](std::vector<float>* v) {
+    for (auto& x : *v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  };
+  // Buffers sized for the largest addressing each variant performs.
+  std::vector<float> a_nn(static_cast<size_t>(m * lda_nn));
+  std::vector<float> b_nn(static_cast<size_t>(k * ldb_nn));
+  std::vector<float> b_nt(static_cast<size_t>(n * ldb_nt));
+  std::vector<float> a_tn(static_cast<size_t>(k * lda_tn));
+  std::vector<float> c_init(static_cast<size_t>(m * ldc));
+  fill(&a_nn);
+  fill(&b_nn);
+  fill(&b_nt);
+  fill(&a_tn);
+  fill(&c_init);  // GEMMs accumulate: C += ..., start from random C
+
+  struct Variant {
+    const char* name;
+    std::function<void(std::vector<float>*)> run;
+    std::function<double(int64_t, int64_t)> reference;  // (i, j) -> sum
+  };
+  const std::vector<Variant> variants = {
+      {"GemmNN",
+       [&](std::vector<float>* c) {
+         tensor::internal::GemmNN(a_nn.data(), lda_nn, b_nn.data(), ldb_nn,
+                                  c->data(), ldc, m, k, n);
+       },
+       [&](int64_t i, int64_t j) {
+         double acc = 0;
+         for (int64_t p = 0; p < k; ++p) {
+           acc += static_cast<double>(a_nn[static_cast<size_t>(i * lda_nn + p)]) *
+                  b_nn[static_cast<size_t>(p * ldb_nn + j)];
+         }
+         return acc;
+       }},
+      {"GemmNT",
+       [&](std::vector<float>* c) {
+         tensor::internal::GemmNT(a_nn.data(), lda_nn, b_nt.data(), ldb_nt,
+                                  c->data(), ldc, m, k, n);
+       },
+       [&](int64_t i, int64_t j) {
+         double acc = 0;
+         for (int64_t p = 0; p < k; ++p) {
+           acc += static_cast<double>(a_nn[static_cast<size_t>(i * lda_nn + p)]) *
+                  b_nt[static_cast<size_t>(j * ldb_nt + p)];
+         }
+         return acc;
+       }},
+      {"GemmTN",
+       [&](std::vector<float>* c) {
+         tensor::internal::GemmTN(a_tn.data(), lda_tn, b_nn.data(), ldb_nn,
+                                  c->data(), ldc, m, k, n);
+       },
+       [&](int64_t i, int64_t j) {
+         double acc = 0;
+         for (int64_t p = 0; p < k; ++p) {
+           acc += static_cast<double>(a_tn[static_cast<size_t>(p * lda_tn + i)]) *
+                  b_nn[static_cast<size_t>(p * ldb_nn + j)];
+         }
+         return acc;
+       }},
+  };
+
+  for (const auto& variant : variants) {
+    SCOPED_TRACE(variant.name);
+    std::vector<std::vector<float>> results;
+    ForEachOmpRegime([&](const char* regime) {
+      SCOPED_TRACE(regime);
+      std::vector<float> c = c_init;
+      variant.run(&c);
+      // Numeric correctness vs the double-precision scalar reference.
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          const double expected =
+              c_init[static_cast<size_t>(i * ldc + j)] +
+              variant.reference(i, j);
+          EXPECT_NEAR(c[static_cast<size_t>(i * ldc + j)], expected,
+                      1e-4 * (1.0 + std::fabs(expected)))
+              << "at (" << i << ", " << j << ")";
+        }
+      }
+      // Padding tails (columns [n, ldc)) must be untouched.
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = n; j < ldc; ++j) {
+          EXPECT_EQ(c[static_cast<size_t>(i * ldc + j)],
+                    c_init[static_cast<size_t>(i * ldc + j)]);
+        }
+      }
+      results.push_back(std::move(c));
+    });
+    // Bitwise identical across thread regimes.
+    for (size_t r = 1; r < results.size(); ++r) {
+      testutil::ExpectFloatsBitwiseEqual(results[0], results[r],
+                                         "thread-count invariance");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StridedGemmPropertyTest,
+                         ::testing::Range(0, 10));
+
+class BroadcastElementwisePropertyTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(BroadcastElementwisePropertyTest, MatchesNaiveReference) {
+  common::Rng rng(testutil::TestSeed(GetParam()));
+  // Random 2-D output shape; each operand independently broadcasts either
+  // dim and may arrive as a genuinely non-contiguous transpose view (values
+  // stored column-major, viewed row-major) — the strided iteration plan of
+  // kernels.h, not the contiguous fast path.
+  const int64_t d0 = 2 + rng.UniformInt(6);
+  const int64_t d1 = 2 + rng.UniformInt(7);
+  const auto make_operand = [&]() {
+    const int64_t r = rng.Bernoulli(0.3) ? 1 : d0;
+    const int64_t c = rng.Bernoulli(0.3) ? 1 : d1;
+    std::vector<float> values(static_cast<size_t>(r * c));
+    for (auto& v : values) {
+      v = static_cast<float>(rng.Uniform(0.5, 2.0));  // Div-safe
+    }
+    if (r > 1 && c > 1 && rng.Bernoulli(0.5)) {
+      // Store as [c, r] and transpose: logical [r, c] with swapped strides.
+      tensor::Tensor stored = tensor::Tensor::FromVector(
+          tensor::Shape({c, r}), std::move(values));
+      tensor::Tensor t = tensor::Transpose(stored);
+      EXPECT_FALSE(t.is_contiguous());
+      return t;
+    }
+    return tensor::Tensor::FromVector(tensor::Shape({r, c}),
+                                      std::move(values));
+  };
+
+  struct Op {
+    const char* name;
+    std::function<tensor::Tensor(const tensor::Tensor&,
+                                 const tensor::Tensor&)> apply;
+    std::function<double(double, double)> reference;
+  };
+  const std::vector<Op> ops = {
+      {"Add", [](const auto& a, const auto& b) { return tensor::Add(a, b); },
+       [](double x, double y) { return x + y; }},
+      {"Sub", [](const auto& a, const auto& b) { return tensor::Sub(a, b); },
+       [](double x, double y) { return x - y; }},
+      {"Mul", [](const auto& a, const auto& b) { return tensor::Mul(a, b); },
+       [](double x, double y) { return x * y; }},
+      {"Div", [](const auto& a, const auto& b) { return tensor::Div(a, b); },
+       [](double x, double y) { return x / y; }},
+  };
+  const tensor::Tensor a = make_operand();
+  const tensor::Tensor b = make_operand();
+
+  for (const auto& op : ops) {
+    SCOPED_TRACE(op.name);
+    std::vector<std::vector<float>> results;
+    ForEachOmpRegime([&](const char* regime) {
+      SCOPED_TRACE(regime);
+      const tensor::Tensor out = op.apply(a, b);
+      ASSERT_EQ(out.shape(), tensor::Shape({d0, d1}));
+      std::vector<float> flat(static_cast<size_t>(out.numel()));
+      for (int64_t i = 0; i < d0; ++i) {
+        for (int64_t j = 0; j < d1; ++j) {
+          const auto pick = [&](const tensor::Tensor& t) {
+            return static_cast<double>(
+                t.at({t.dim(0) == 1 ? 0 : i, t.dim(1) == 1 ? 0 : j}));
+          };
+          const float got = out.at({i, j});
+          const double expected = op.reference(pick(a), pick(b));
+          EXPECT_NEAR(got, expected, 1e-5 * (1.0 + std::fabs(expected)))
+              << "at (" << i << ", " << j << ")";
+          flat[static_cast<size_t>(i * d1 + j)] = got;
+        }
+      }
+      results.push_back(std::move(flat));
+    });
+    for (size_t r = 1; r < results.size(); ++r) {
+      testutil::ExpectFloatsBitwiseEqual(results[0], results[r],
+                                         "thread-count invariance");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastElementwisePropertyTest,
+                         ::testing::Range(0, 12));
+
+// Broadcast *backward*: gradients of a broadcast Mul must accumulate into
+// the reduced operand exactly like the naive dense computation — the
+// stride-0 grad-slot accumulation path of kernels.h's general loop.
+TEST(BroadcastElementwisePropertyTest, BroadcastBackwardMatchesDense) {
+  common::Rng rng(testutil::TestSeed());
+  const int64_t rows = 5, cols = 7;
+  std::vector<float> wide(static_cast<size_t>(rows * cols));
+  std::vector<float> narrow(static_cast<size_t>(cols));
+  for (auto& v : wide) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : narrow) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  tensor::Tensor a = tensor::Tensor::FromVector(
+      tensor::Shape({rows, cols}), std::vector<float>(wide), true);
+  tensor::Tensor b = tensor::Tensor::FromVector(
+      tensor::Shape({1, cols}), std::vector<float>(narrow), true);
+  const tensor::Tensor out = tensor::Mul(a, b);
+  tensor::Tensor loss = tensor::Sum(out);
+  loss.Backward();
+
+  // d(sum)/d(b[j]) = sum_i a[i, j]; d(sum)/d(a[i, j]) = b[j].
+  for (int64_t j = 0; j < cols; ++j) {
+    double expected = 0;
+    for (int64_t i = 0; i < rows; ++i) {
+      expected += wide[static_cast<size_t>(i * cols + j)];
+    }
+    EXPECT_NEAR(b.grad()[j], expected, 1e-5);
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      EXPECT_NEAR(a.grad()[i * cols + j], narrow[static_cast<size_t>(j)],
+                  1e-6);
+    }
+  }
 }
 
 }  // namespace

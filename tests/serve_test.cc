@@ -20,33 +20,20 @@
 #include "serve/embedding_index.h"
 #include "serve/embedding_service.h"
 #include "serve/frozen_encoder.h"
+#include "testing.h"
 #include "traj/trip_generator.h"
 
 namespace start {
 namespace {
 
+using testutil::ReadFileBytes;
+using testutil::WriteFileBytes;
+
+/// One scratch directory per test binary, removed at exit (the suite-level
+/// artifact below outlives individual tests).
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
-}
-
-std::vector<uint8_t> ReadFileBytes(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  EXPECT_NE(f, nullptr) << path;
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
-  return bytes;
-}
-
-void WriteFileBytes(const std::string& path,
-                    const std::vector<uint8_t>& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(f, nullptr) << path;
-  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
+  static testutil::TempDir dir;
+  return dir.File(name);
 }
 
 class ServeTest : public ::testing::Test {

@@ -5,12 +5,15 @@
 
 #include "common/rng.h"
 #include "tensor/tensor.h"
+#include "testing.h"
 
 namespace start::tensor {
 namespace {
 
+/// One scratch directory per test binary, removed at exit.
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  static testutil::TempDir dir;
+  return dir.File(name);
 }
 
 TEST(SerializeTest, RoundTripPreservesDataAndShapes) {

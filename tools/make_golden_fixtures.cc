@@ -1,0 +1,109 @@
+// Generates the committed golden checkpoint fixtures under tests/fixtures/:
+//
+//   golden_v1.sttn — a hand-assembled version-1 container (tensors only, no
+//                    meta tag, no CRCs), byte-for-byte the legacy layout.
+//   golden_v2.sttn — a version-2 container with every record kind (f32
+//                    tensor, f64/i64/u64 arrays), written by SaveBundle.
+//
+// These files are committed to the repository and loaded bitwise by
+// tests/golden_checkpoint_test.cc. They pin the on-disk format: a future
+// change to the serializer that silently alters how OLD artifacts are read
+// (record framing, CRC coverage, payload layout) fails the back-compat test
+// even if its own writer/reader pair stays self-consistent. Regenerate ONLY
+// on a deliberate, documented format break:
+//
+//   cmake --build build --target make_golden_fixtures
+//   ./build/make_golden_fixtures tests/fixtures
+//
+// The expected *values* are duplicated in golden_checkpoint_test.cc via the
+// same Golden*() formulas — keep the two in sync.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using start::tensor::RecordBundle;
+using start::tensor::SaveBundle;
+using start::tensor::Shape;
+using start::tensor::Tensor;
+
+// Deterministic, exactly-representable payloads (quarters stay exact in
+// binary float, so the formulas below reproduce the committed bits).
+std::vector<float> GoldenAlpha() {
+  std::vector<float> v(12);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>(i) * 0.25f - 1.5f;
+  }
+  return v;
+}
+
+std::vector<float> GoldenLegacyTable() {
+  std::vector<float> v(12);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 2.0f - static_cast<float>(i) * 0.5f;
+  }
+  return v;
+}
+
+constexpr uint64_t kGoldenMetaTag = 0x60a1d2c3b4a59687ULL;
+
+bool WriteV1(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const uint32_t version = 1;
+  const uint64_t count = 1;
+  const char name[] = "legacy.table";
+  const uint32_t name_len = sizeof(name) - 1;
+  const uint32_t ndim = 2;
+  const int64_t dims[2] = {4, 3};
+  const auto data = GoldenLegacyTable();
+  bool ok = std::fwrite("STTN", 1, 4, f) == 4 &&
+            std::fwrite(&version, sizeof(version), 1, f) == 1 &&
+            std::fwrite(&count, sizeof(count), 1, f) == 1 &&
+            std::fwrite(&name_len, sizeof(name_len), 1, f) == 1 &&
+            std::fwrite(name, 1, name_len, f) == name_len &&
+            std::fwrite(&ndim, sizeof(ndim), 1, f) == 1 &&
+            std::fwrite(dims, sizeof(int64_t), 2, f) == 2 &&
+            std::fwrite(data.data(), sizeof(float), data.size(), f) ==
+                data.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+bool WriteV2(const std::string& path) {
+  RecordBundle bundle;
+  bundle.tensors.emplace("weights.alpha",
+                         Tensor::FromVector(Shape({3, 4}), GoldenAlpha()));
+  bundle.tensors.emplace(
+      "weights.beta",
+      Tensor::FromVector(Shape({2, 2, 2}),
+                         {8.0f, -4.0f, 2.0f, -1.0f, 0.5f, -0.25f, 0.125f,
+                          -0.0625f}));
+  bundle.doubles["trainer.loss_sum"] = {0.5, -1.25, 3.75};
+  bundle.ints["trainer.cursor"] = {-3, 0, 1LL << 40};
+  bundle.uints["trainer.rng_state"] = {0x0123456789abcdefULL, ~0ULL};
+  return SaveBundle(path, kGoldenMetaTag, bundle).ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/fixtures";
+  const std::string v1 = dir + "/golden_v1.sttn";
+  const std::string v2 = dir + "/golden_v2.sttn";
+  if (!WriteV1(v1)) {
+    std::fprintf(stderr, "failed to write %s\n", v1.c_str());
+    return 1;
+  }
+  if (!WriteV2(v2)) {
+    std::fprintf(stderr, "failed to write %s\n", v2.c_str());
+    return 1;
+  }
+  std::printf("wrote %s and %s\n", v1.c_str(), v2.c_str());
+  return 0;
+}
