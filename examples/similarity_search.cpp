@@ -2,9 +2,14 @@
 // (Sec. III-D3 / IV-D4), served through the serving plane: pre-train once,
 // checkpoint, load the artifact into a serve::FrozenEncoder, embed queries
 // and database concurrently through a micro-batched serve::EmbeddingService,
-// index the database in a serve::EmbeddingIndex, and answer most-similar
-// queries there — compared with classical DTW.
+// index the database behind the serve::IndexInterface, and answer
+// most-similar queries there — compared with classical DTW.
+//
+// --index=exact|hnsw|both (default both) picks the retrieval backend: the
+// exact brute-force EmbeddingIndex, the approximate HnswIndex, or both —
+// in which case the demo also reports recall@10 of hnsw against exact.
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <vector>
 
@@ -17,13 +22,27 @@
 #include "serve/embedding_index.h"
 #include "serve/embedding_service.h"
 #include "serve/frozen_encoder.h"
+#include "serve/hnsw_index.h"
+#include "serve/index_interface.h"
 #include "sim/search.h"
 #include "sim/similarity.h"
 #include "traj/trip_generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace start;
-  std::printf("=== similarity search example (serving plane) ===\n");
+  bool use_exact = true, use_hnsw = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--index=exact") == 0) {
+      use_hnsw = false;
+    } else if (std::strcmp(argv[i], "--index=hnsw") == 0) {
+      use_exact = false;
+    } else if (std::strcmp(argv[i], "--index=both") != 0) {
+      std::fprintf(stderr, "usage: %s [--index=exact|hnsw|both]\n", argv[0]);
+      return 1;
+    }
+  }
+  std::printf("=== similarity search example (serving plane, index=%s) ===\n",
+              use_exact && use_hnsw ? "both" : (use_hnsw ? "hnsw" : "exact"));
   const roadnet::RoadNetwork net = roadnet::BuildSyntheticCity(
       {.grid_width = 8, .grid_height = 8, .seed = 25});
   traj::TrafficModel traffic(&net, {});
@@ -115,14 +134,27 @@ int main() {
   const std::vector<float> q = embed_all(queries);
   const std::vector<float> db = embed_all(database);
 
-  serve::EmbeddingIndex index(engine->dim());
+  // Both backends sit behind serve::IndexInterface, so everything below the
+  // build is backend-agnostic. With both built, hnsw serves the protocol and
+  // exact is its recall oracle.
+  serve::EmbeddingIndex exact_index(engine->dim());
+  serve::HnswIndex hnsw_index(engine->dim());
+  serve::IndexInterface& index =
+      use_hnsw ? static_cast<serve::IndexInterface&>(hnsw_index)
+               : static_cast<serve::IndexInterface&>(exact_index);
   std::vector<int64_t> db_ids(database.size());
   for (size_t i = 0; i < database.size(); ++i) {
     db_ids[i] = static_cast<int64_t>(i);
   }
-  if (const auto st = index.AddBatch(db_ids, db); !st.ok()) {
-    std::fprintf(stderr, "index build failed: %s\n", st.ToString().c_str());
-    return 1;
+  for (serve::IndexInterface* backend :
+       std::initializer_list<serve::IndexInterface*>{&exact_index,
+                                                     &hnsw_index}) {
+    if (backend == &exact_index && !use_exact) continue;
+    if (backend == &hnsw_index && !use_hnsw) continue;
+    if (const auto st = backend->AddBatch(db_ids, db); !st.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   const auto emb_metrics = index.EvaluateMostSimilar(
       q, static_cast<int64_t>(queries.size()), gt);
@@ -156,6 +188,34 @@ int main() {
   std::printf("DTW:                 MR %.2f, HR@1 %.3f, HR@5 %.3f (%.1f ms)\n",
               dtw_metrics.mean_rank, dtw_metrics.hr_at_1,
               dtw_metrics.hr_at_5, dtw_time);
+  // With both backends built: recall@10 of the approximate index against
+  // the exact oracle, averaged over every query.
+  if (use_exact && use_hnsw) {
+    const int64_t k = 10;
+    double recall = 0.0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const auto truth =
+          exact_index.Query(q.data() + qi * static_cast<size_t>(engine->dim()),
+                            engine->dim(), k);
+      const auto got =
+          hnsw_index.Query(q.data() + qi * static_cast<size_t>(engine->dim()),
+                           engine->dim(), k);
+      if (!truth.ok() || !got.ok()) continue;
+      int64_t overlap = 0;
+      for (const auto& t : *truth) {
+        for (const auto& g : *got) {
+          if (g.id == t.id) {
+            ++overlap;
+            break;
+          }
+        }
+      }
+      recall += static_cast<double>(overlap) /
+                static_cast<double>(truth->size());
+    }
+    std::printf("\nhnsw recall@10 vs exact: %.4f over %zu queries\n",
+                recall / static_cast<double>(queries.size()), queries.size());
+  }
   // Top-K through the index: the nearest database entries for query 0.
   const auto top = index.Query(q.data(), engine->dim(), 3);
   if (top.ok() && !top->empty()) {

@@ -12,21 +12,11 @@ namespace start::serve {
 
 namespace {
 
+using internal::NormalizeInto;
+
 /// Rows scored per GemmNT call: keeps the scored block plus the query in
 /// cache while still amortizing the call overhead.
 constexpr int64_t kScoreBlockRows = 1024;
-
-/// L2-normalizes `dim` floats from `src` into `dst`; false on a zero vector.
-bool NormalizeInto(const float* src, int64_t dim, float* dst) {
-  double sq = 0.0;
-  for (int64_t i = 0; i < dim; ++i) {
-    sq += static_cast<double>(src[i]) * src[i];
-  }
-  if (sq <= 0.0) return false;
-  const float inv = static_cast<float>(1.0 / std::sqrt(sq));
-  for (int64_t i = 0; i < dim; ++i) dst[i] = src[i] * inv;
-  return true;
-}
 
 }  // namespace
 
@@ -49,11 +39,6 @@ common::Status EmbeddingIndex::Add(int64_t id, const float* embedding,
   return AddBatch({id}, std::vector<float>(embedding, embedding + dim));
 }
 
-common::Status EmbeddingIndex::Add(int64_t id,
-                                   const std::vector<float>& embedding) {
-  return AddBatch({id}, embedding);
-}
-
 common::Status EmbeddingIndex::AddBatch(const std::vector<int64_t>& ids,
                                         const std::vector<float>& rows) {
   const int64_t n = static_cast<int64_t>(ids.size());
@@ -62,17 +47,10 @@ common::Status EmbeddingIndex::AddBatch(const std::vector<int64_t>& ids,
         "AddBatch rows have " + std::to_string(rows.size()) +
         " floats; expected ids * dim = " + std::to_string(n * dim_));
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  // Validate everything before mutating, so a failed bulk add is atomic.
-  // Duplicates within the batch itself would desynchronise the slot/id
-  // maps, so they are rejected along with already-indexed ids.
-  std::unordered_set<int64_t> batch_ids;
-  for (const int64_t id : ids) {
-    if (id_to_slot_.count(id) > 0 || !batch_ids.insert(id).second) {
-      return common::Status::AlreadyExists("id " + std::to_string(id) +
-                                           " already indexed");
-    }
-  }
+  // Everything that needs no index state runs before the exclusive lock:
+  // the O(n·d) normalize pass (with zero-vector rejection) and the
+  // batch-internal duplicate check. A bulk load therefore blocks readers
+  // only for the duplicate-vs-index check and the row append.
   std::vector<float> normalized(rows.size());
   for (int64_t i = 0; i < n; ++i) {
     if (!NormalizeInto(rows.data() + i * dim_, dim_,
@@ -80,6 +58,22 @@ common::Status EmbeddingIndex::AddBatch(const std::vector<int64_t>& ids,
       return common::Status::InvalidArgument(
           "zero-norm embedding for id " + std::to_string(ids[i]) +
           " (cosine similarity undefined)");
+    }
+  }
+  std::unordered_set<int64_t> batch_ids;
+  for (const int64_t id : ids) {
+    if (!batch_ids.insert(id).second) {
+      return common::Status::AlreadyExists("id " + std::to_string(id) +
+                                           " duplicated within the batch");
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Validate against the index before mutating, so a failed bulk add stays
+  // atomic.
+  for (const int64_t id : ids) {
+    if (id_to_slot_.count(id) > 0) {
+      return common::Status::AlreadyExists("id " + std::to_string(id) +
+                                           " already indexed");
     }
   }
   for (int64_t i = 0; i < n; ++i) {
@@ -157,11 +151,6 @@ common::Result<std::vector<EmbeddingIndex::Neighbor>> EmbeddingIndex::Query(
                            scores[static_cast<size_t>(slot)]});
   }
   return out;
-}
-
-common::Result<std::vector<EmbeddingIndex::Neighbor>> EmbeddingIndex::Query(
-    const std::vector<float>& query, int64_t k) const {
-  return Query(query.data(), static_cast<int64_t>(query.size()), k);
 }
 
 common::Result<sim::RankMetrics> EmbeddingIndex::EvaluateMostSimilar(

@@ -7,12 +7,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "serve/index_interface.h"
 #include "sim/search.h"
 
 namespace start::serve {
 
 /// \brief Exact brute-force Top-K retrieval over L2-normalized embeddings —
-/// the retrieval half of the serving plane.
+/// the ground-truth backend of the retrieval plane (see IndexInterface for
+/// the shared contract, HnswIndex for the sublinear approximate backend).
 ///
 /// Embeddings are normalized on Add, so the score is cosine similarity and
 /// ranking by descending score equals ranking by ascending Euclidean
@@ -23,31 +25,31 @@ namespace start::serve {
 /// Thread-safety contract: Query/Contains/size take a shared lock; Add and
 /// Remove take an exclusive lock. Any number of concurrent readers, or one
 /// writer, at a time — the classic serving pattern of heavy query traffic
-/// with occasional corpus updates.
-class EmbeddingIndex {
+/// with occasional corpus updates. AddBatch normalizes and validates rows
+/// *before* taking the exclusive lock, so bulk loads block readers only for
+/// the memcpy-scale tail, not the whole normalize pass.
+class EmbeddingIndex : public IndexInterface {
  public:
-  struct Neighbor {
-    int64_t id = 0;
-    float score = 0.0f;  ///< Cosine similarity in [-1, 1].
-  };
+  using Neighbor = serve::Neighbor;
 
   explicit EmbeddingIndex(int64_t dim);
 
-  int64_t dim() const { return dim_; }
-  int64_t size() const;
-  bool Contains(int64_t id) const;
+  int64_t dim() const override { return dim_; }
+  int64_t size() const override;
+  bool Contains(int64_t id) const override;
 
-  /// \brief Inserts (or fails on duplicate id) one embedding of length
-  /// dim(). Zero vectors are rejected (cosine undefined).
-  common::Status Add(int64_t id, const float* embedding, int64_t dim);
-  common::Status Add(int64_t id, const std::vector<float>& embedding);
+  using IndexInterface::Add;
+  common::Status Add(int64_t id, const float* embedding,
+                     int64_t dim) override;
 
-  /// Bulk insert of `ids.size()` row-major rows (one exclusive lock).
+  /// Bulk insert of `ids.size()` row-major rows. Normalization (and
+  /// zero-vector rejection) happens outside the exclusive section; the lock
+  /// covers only duplicate checking and the row append.
   common::Status AddBatch(const std::vector<int64_t>& ids,
-                          const std::vector<float>& rows);
+                          const std::vector<float>& rows) override;
 
   /// Removes one embedding; NotFound when absent.
-  common::Status Remove(int64_t id);
+  common::Status Remove(int64_t id) override;
 
   /// \brief Top-k by descending cosine similarity.
   ///
@@ -55,17 +57,17 @@ class EmbeddingIndex {
   /// toward the earlier-inserted entry (entries keep their insertion slot
   /// until a Remove swaps the last slot into the hole). Rejects zero-norm
   /// queries and dimension mismatches.
+  using IndexInterface::Query;
   common::Result<std::vector<Neighbor>> Query(const float* query, int64_t dim,
-                                              int64_t k) const;
-  common::Result<std::vector<Neighbor>> Query(const std::vector<float>& query,
-                                              int64_t k) const;
+                                              int64_t k) const override;
 
   /// \brief Most-similar-search protocol (Sec. IV-D4a) served through the
   /// index: query q's ground truth is id `gt_id[q]`; queries are `nq`
-  /// row-major [dim] rows. Ranks by the Query contract above.
+  /// row-major [dim] rows. Exact full-corpus ranks (overrides the
+  /// censored-rank default), ranked by the Query contract above.
   common::Result<sim::RankMetrics> EvaluateMostSimilar(
       const std::vector<float>& queries, int64_t nq,
-      const std::vector<int64_t>& gt_id) const;
+      const std::vector<int64_t>& gt_id) const override;
 
  private:
   /// Cosine scores of `query` (already normalized) against every row.

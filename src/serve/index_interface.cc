@@ -1,0 +1,109 @@
+#include "serve/index_interface.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace start::serve {
+
+namespace internal {
+
+bool NormalizeInto(const float* src, int64_t dim, float* dst) {
+  double sq = 0.0;
+  for (int64_t i = 0; i < dim; ++i) {
+    sq += static_cast<double>(src[i]) * src[i];
+  }
+  if (sq <= 0.0) return false;
+  const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+  for (int64_t i = 0; i < dim; ++i) dst[i] = src[i] * inv;
+  return true;
+}
+
+}  // namespace internal
+
+common::Status IndexInterface::Add(int64_t id,
+                                   const std::vector<float>& embedding) {
+  return Add(id, embedding.data(), static_cast<int64_t>(embedding.size()));
+}
+
+common::Result<std::vector<Neighbor>> IndexInterface::Query(
+    const std::vector<float>& query, int64_t k) const {
+  return Query(query.data(), static_cast<int64_t>(query.size()), k);
+}
+
+common::Result<sim::RankMetrics> IndexInterface::EvaluateMostSimilar(
+    const std::vector<float>& queries, int64_t nq,
+    const std::vector<int64_t>& gt_id) const {
+  if (nq <= 0) {
+    return common::Status::InvalidArgument("need at least one query");
+  }
+  if (static_cast<int64_t>(queries.size()) != nq * dim()) {
+    return common::Status::InvalidArgument("queries must be [nq, dim]");
+  }
+  if (static_cast<int64_t>(gt_id.size()) != nq) {
+    return common::Status::InvalidArgument("gt_id must have one id per query");
+  }
+  const int64_t depth = std::max<int64_t>(EvalQueryDepth(), 5);
+  sim::RankMetrics m;
+  for (int64_t q = 0; q < nq; ++q) {
+    const int64_t gt = gt_id[static_cast<size_t>(q)];
+    if (!Contains(gt)) {
+      return common::Status::NotFound("ground-truth id " + std::to_string(gt) +
+                                      " not indexed");
+    }
+    auto result = Query(queries.data() + q * dim(), dim(), depth);
+    if (!result.ok()) return result.status();
+    // Censored rank: a truth the search missed counts as rank size() — the
+    // pessimistic bound, so approximate mean ranks never flatter the index.
+    int64_t rank = std::max<int64_t>(size(), depth + 1);
+    for (size_t i = 0; i < result->size(); ++i) {
+      if ((*result)[i].id == gt) {
+        rank = static_cast<int64_t>(i) + 1;
+        break;
+      }
+    }
+    m.mean_rank += static_cast<double>(rank);
+    if (rank <= 1) m.hr_at_1 += 1.0;
+    if (rank <= 5) m.hr_at_5 += 1.0;
+  }
+  const double n = static_cast<double>(nq);
+  m.mean_rank /= n;
+  m.hr_at_1 /= n;
+  m.hr_at_5 /= n;
+  return m;
+}
+
+common::Result<double> KnnPrecision(const IndexInterface& index,
+                                    const std::vector<float>& original,
+                                    const std::vector<float>& transformed,
+                                    int64_t num_queries, int64_t k) {
+  const int64_t d = index.dim();
+  if (num_queries <= 0 || k <= 0) {
+    return common::Status::InvalidArgument("need positive num_queries and k");
+  }
+  if (static_cast<int64_t>(original.size()) != num_queries * d ||
+      static_cast<int64_t>(transformed.size()) != num_queries * d) {
+    return common::Status::InvalidArgument(
+        "original/transformed queries must be [nq, dim]");
+  }
+  double total = 0.0;
+  for (int64_t q = 0; q < num_queries; ++q) {
+    auto truth = index.Query(original.data() + q * d, d, k);
+    if (!truth.ok()) return truth.status();
+    auto got = index.Query(transformed.data() + q * d, d, k);
+    if (!got.ok()) return got.status();
+    int64_t overlap = 0;
+    for (const Neighbor& g : *got) {
+      for (const Neighbor& t : *truth) {
+        if (g.id == t.id) {
+          ++overlap;
+          break;
+        }
+      }
+    }
+    total += static_cast<double>(overlap) / static_cast<double>(k);
+  }
+  return total / static_cast<double>(num_queries);
+}
+
+}  // namespace start::serve

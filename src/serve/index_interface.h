@@ -1,0 +1,104 @@
+#ifndef START_SERVE_INDEX_INTERFACE_H_
+#define START_SERVE_INDEX_INTERFACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/search.h"
+
+namespace start::serve {
+
+/// One retrieval hit: an indexed id and its cosine similarity to the query.
+struct Neighbor {
+  int64_t id = 0;
+  float score = 0.0f;  ///< Cosine similarity in [-1, 1].
+};
+
+/// \brief The retrieval surface of the serving plane: Top-K over
+/// L2-normalized embeddings, with incremental adds and removes.
+///
+/// Two backends implement it — `EmbeddingIndex` (exact brute force, the
+/// ground-truth oracle) and `HnswIndex` (approximate sublinear graph
+/// search) — so benches, examples, and the paper's most-similar protocol
+/// run against either unchanged. Embeddings are L2-normalized on Add, so
+/// scores are cosine similarity and descending score equals ascending
+/// Euclidean distance in the normalized space.
+///
+/// Thread-safety contract (every backend): any number of concurrent
+/// readers (`Query`/`Contains`/`size`/`EvaluateMostSimilar`) at any time,
+/// including while a writer is inside `Add`/`AddBatch`/`Remove`. Writers
+/// may be serialized against each other by the backend.
+class IndexInterface {
+ public:
+  virtual ~IndexInterface() = default;
+
+  virtual int64_t dim() const = 0;
+  /// Number of live (non-removed) entries.
+  virtual int64_t size() const = 0;
+  virtual bool Contains(int64_t id) const = 0;
+
+  /// \brief Inserts (or fails on duplicate id) one embedding of length
+  /// dim(). Zero vectors are rejected (cosine undefined).
+  virtual common::Status Add(int64_t id, const float* embedding,
+                             int64_t dim) = 0;
+  common::Status Add(int64_t id, const std::vector<float>& embedding);
+
+  /// Bulk insert of `ids.size()` row-major rows; atomic (all or nothing)
+  /// with respect to validation failures.
+  virtual common::Status AddBatch(const std::vector<int64_t>& ids,
+                                  const std::vector<float>& rows) = 0;
+
+  /// Removes one embedding; NotFound when absent.
+  virtual common::Status Remove(int64_t id) = 0;
+
+  /// \brief Top-k by descending cosine similarity, best first. Returns at
+  /// most min(k, size()) neighbors (an approximate backend may return
+  /// fewer). Exact score ties rank the earlier-inserted entry first.
+  /// Rejects zero-norm queries and dimension mismatches.
+  virtual common::Result<std::vector<Neighbor>> Query(const float* query,
+                                                      int64_t dim,
+                                                      int64_t k) const = 0;
+  common::Result<std::vector<Neighbor>> Query(const std::vector<float>& query,
+                                              int64_t k) const;
+
+  /// \brief Most-similar-search protocol (Sec. IV-D4a): query q's ground
+  /// truth is id `gt_id[q]`; queries are `nq` row-major [dim] rows.
+  ///
+  /// The default implementation ranks through `Query` at depth
+  /// `EvalQueryDepth()`: a ground truth outside the returned neighbors is
+  /// censored at rank size(). Exact backends override with full-corpus
+  /// ranking; approximate backends inherit this (mean_rank is then a
+  /// pessimistic bound while hr@1/hr@5 stay exact up to recall).
+  virtual common::Result<sim::RankMetrics> EvaluateMostSimilar(
+      const std::vector<float>& queries, int64_t nq,
+      const std::vector<int64_t>& gt_id) const;
+
+ protected:
+  /// Query depth used by the default EvaluateMostSimilar.
+  virtual int64_t EvalQueryDepth() const { return 64; }
+};
+
+/// \brief k-nearest precision protocol (Sec. IV-D4b) served through any
+/// index backend: ground truth is the k-NN id set of the original query,
+/// retrieval uses the transformed (detoured) query, precision is the
+/// overlap fraction averaged over queries. `original` / `transformed` are
+/// [nq, index.dim()] row-major. This is the one Top-K code path — the
+/// former sim::KnnPrecision duplicate scoring loop is gone.
+common::Result<double> KnnPrecision(const IndexInterface& index,
+                                    const std::vector<float>& original,
+                                    const std::vector<float>& transformed,
+                                    int64_t num_queries, int64_t k);
+
+namespace internal {
+
+/// L2-normalizes `dim` floats from `src` into `dst`; false on a zero
+/// vector. Shared by every index backend so "normalized row" means the
+/// same bits everywhere.
+bool NormalizeInto(const float* src, int64_t dim, float* dst);
+
+}  // namespace internal
+
+}  // namespace start::serve
+
+#endif  // START_SERVE_INDEX_INTERFACE_H_

@@ -119,34 +119,4 @@ std::vector<int64_t> TopK(int64_t database_size, int64_t k,
   return out;
 }
 
-double KnnPrecision(const std::vector<float>& original_queries,
-                    const std::vector<float>& transformed_queries,
-                    int64_t num_queries, const std::vector<float>& database,
-                    int64_t database_size, int64_t dim, int64_t k) {
-  START_CHECK_EQ(static_cast<int64_t>(original_queries.size()),
-                 num_queries * dim);
-  START_CHECK_EQ(static_cast<int64_t>(transformed_queries.size()),
-                 num_queries * dim);
-  double total = 0.0;
-  // Each query's distance row is computed once per embedding space and both
-  // TopK selections read from it, halving the dominant O(N·d) work the
-  // closure-based path performed inside every comparison.
-  std::vector<double> row(static_cast<size_t>(database_size));
-  for (int64_t q = 0; q < num_queries; ++q) {
-    DistanceRow(original_queries.data() + q * dim, database.data(),
-                database_size, dim, row.data());
-    const auto truth =
-        TopK(database_size, k, [&](int64_t i) { return row[i]; });
-    DistanceRow(transformed_queries.data() + q * dim, database.data(),
-                database_size, dim, row.data());
-    const auto got = TopK(database_size, k, [&](int64_t i) { return row[i]; });
-    int64_t overlap = 0;
-    for (const int64_t g : got) {
-      if (std::find(truth.begin(), truth.end(), g) != truth.end()) ++overlap;
-    }
-    total += static_cast<double>(overlap) / static_cast<double>(k);
-  }
-  return total / static_cast<double>(num_queries);
-}
-
 }  // namespace start::sim

@@ -41,13 +41,9 @@ RankMetrics MostSimilarSearchEmbeddings(const std::vector<float>& queries,
 std::vector<int64_t> TopK(int64_t database_size, int64_t k,
                           const std::function<double(int64_t)>& distance);
 
-/// \brief k-nearest precision protocol (Sec. IV-D4b): ground truth is the
-/// k-NN set of the original query; retrieval uses the transformed (detoured)
-/// query; precision is the overlap fraction, averaged over queries.
-double KnnPrecision(const std::vector<float>& original_queries,
-                    const std::vector<float>& transformed_queries,
-                    int64_t num_queries, const std::vector<float>& database,
-                    int64_t database_size, int64_t dim, int64_t k);
+// The k-nearest precision protocol (Sec. IV-D4b) lives in
+// serve::KnnPrecision (serve/index_interface.h): it runs through the
+// IndexInterface retrieval surface instead of a duplicate scoring loop.
 
 }  // namespace start::sim
 

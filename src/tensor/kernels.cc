@@ -105,4 +105,11 @@ void GemmTN(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
   }
 }
 
+float DotF32(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
 }  // namespace start::tensor::internal

@@ -198,6 +198,11 @@ void GemmNT(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
 void GemmTN(const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
             int64_t ldc, int64_t m, int64_t k, int64_t n);
 
+/// Single inner product over `n` floats — the SIMD dot microkernel shared by
+/// point lookups that cannot batch rows into a GEMM (graph-index traversal
+/// visits scattered rows one neighbor at a time).
+float DotF32(const float* a, const float* b, int64_t n);
+
 }  // namespace start::tensor::internal
 
 #endif  // START_TENSOR_KERNELS_H_

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "serve/embedding_index.h"
+#include "serve/index_interface.h"
 #include "sim/search.h"
 #include "sim/similarity.h"
 
@@ -150,13 +152,26 @@ TEST(SearchTest, TopKBreaksExactTiesTowardSmallerIndex) {
             (std::vector<int64_t>{0, 1, 2, 3}));
 }
 
+/// Loads `db` into an exact index for the serve-side k-NN precision
+/// protocol (the former sim::KnnPrecision now lives behind IndexInterface).
+void LoadIndex(const std::vector<float>& db, int64_t ndb,
+               serve::EmbeddingIndex* index) {
+  std::vector<int64_t> ids(static_cast<size_t>(ndb));
+  for (int64_t i = 0; i < ndb; ++i) ids[static_cast<size_t>(i)] = i;
+  ASSERT_TRUE(index->AddBatch(ids, db).ok());
+}
+
 TEST(SearchTest, KnnPrecisionPerfectWhenQueriesUnchanged) {
   const int64_t nq = 3, ndb = 30, d = 6;
   common::Rng rng(2);
   std::vector<float> db(ndb * d), q(nq * d);
   for (auto& v : db) v = static_cast<float>(rng.Uniform(-1, 1));
   for (auto& v : q) v = static_cast<float>(rng.Uniform(-1, 1));
-  EXPECT_DOUBLE_EQ(KnnPrecision(q, q, nq, db, ndb, d, 5), 1.0);
+  serve::EmbeddingIndex index(d);
+  LoadIndex(db, ndb, &index);
+  const auto precision = serve::KnnPrecision(index, q, q, nq, 5);
+  ASSERT_TRUE(precision.ok());
+  EXPECT_DOUBLE_EQ(*precision, 1.0);
 }
 
 TEST(SearchTest, KnnPrecisionDegradesWithPerturbation) {
@@ -168,10 +183,14 @@ TEST(SearchTest, KnnPrecisionDegradesWithPerturbation) {
   std::vector<float> small = q, large = q;
   for (auto& v : small) v += static_cast<float>(rng.Uniform(-0.05, 0.05));
   for (auto& v : large) v += static_cast<float>(rng.Uniform(-2, 2));
-  const double p_small = KnnPrecision(q, small, nq, db, ndb, d, 5);
-  const double p_large = KnnPrecision(q, large, nq, db, ndb, d, 5);
-  EXPECT_GE(p_small, p_large);
-  EXPECT_GT(p_small, 0.5);
+  serve::EmbeddingIndex index(d);
+  LoadIndex(db, ndb, &index);
+  const auto p_small = serve::KnnPrecision(index, q, small, nq, 5);
+  const auto p_large = serve::KnnPrecision(index, q, large, nq, 5);
+  ASSERT_TRUE(p_small.ok());
+  ASSERT_TRUE(p_large.ok());
+  EXPECT_GE(*p_small, *p_large);
+  EXPECT_GT(*p_small, 0.5);
 }
 
 }  // namespace

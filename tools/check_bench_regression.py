@@ -87,6 +87,18 @@ HEADLINE_METRICS = {
                     doc["service_padding_efficiency"]
             },
         ),
+        # HNSW query throughput over the exact scan, and its recall@10
+        # against the exact oracle. Both are same-host ratios (the speedup
+        # is algorithmic — graph search visits O(ef*M) of the corpus — and
+        # recall is dimensionless), so stable across runners.
+        (
+            "ann hnsw speedup",
+            lambda doc: {"ann_hnsw_speedup": doc["ann_hnsw_speedup"]},
+        ),
+        (
+            "ann hnsw recall@10",
+            lambda doc: {"ann_recall_at_10": doc["ann_recall_at_10"]},
+        ),
     ],
 }
 
