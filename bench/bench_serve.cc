@@ -22,6 +22,12 @@
 //     recall@10, with hard gates of >= 10x throughput at recall >= 0.95.
 //     Also notes how much of the exact index's bulk load now runs before
 //     its exclusive lock (the hoisted normalize pass).
+//  6. Quantized serving: int8 vs f32 frozen engines on a serving-width
+//     (d=192) model — corpus-embedding throughput, mean per-embedding
+//     cosine vs the f32 reference, and serving-snapshot vs training-
+//     checkpoint artifact size. Gates: >= 2x throughput on hosts running
+//     the AVX2 qgemm backend (never slower anywhere), mean cosine
+//     >= 0.999, snapshot at most half the checkpoint.
 //
 // OpenMP is pinned to 1 thread so every number isolates the serving-plane
 // mechanics (worker threads, coalescing, frozen-path savings) instead of
@@ -32,6 +38,7 @@
 //   ./build/bench_serve
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -54,6 +61,7 @@
 #include "serve/hnsw_index.h"
 #include "serve/index_interface.h"
 #include "serve/frozen_encoder.h"
+#include "tensor/qgemm.h"
 #include "traj/trip_generator.h"
 
 namespace {
@@ -276,6 +284,94 @@ AnnResults MeasureAnn() {
   return r;
 }
 
+int64_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+struct QuantResults {
+  double f32_tps = 0.0;     ///< f32 frozen EmbedAll, trajectories/sec.
+  double int8_tps = 0.0;    ///< int8 frozen EmbedAll, trajectories/sec.
+  double speedup = 0.0;
+  double mean_cos = 0.0;    ///< mean per-embedding cosine, int8 vs f32.
+  int64_t checkpoint_bytes = 0;
+  int64_t snapshot_bytes = 0;
+  int64_t quantized_layers = 0;
+};
+
+/// int8 vs f32 frozen serving at serving width. The sections above run
+/// d=32 so the service mechanics dominate; here the model is d=192 —
+/// the regime the quantized path exists for, where the stage-2 projection
+/// Linears are the bulk of an encode.
+QuantResults MeasureQuantized(const World& w) {
+  QuantResults r;
+  start::core::StartConfig config;
+  config.d = 192;
+  config.encoder_layers = 2;
+  config.encoder_heads = 4;
+  config.gat_layers = 2;
+  config.gat_heads = {4, 1};
+  config.max_len = 160;
+  Rng rng(35);
+  start::core::StartModel model(config, w.net.get(), w.transfer.get(), &rng);
+  const std::string checkpoint = "bench_serve_model_q8.sttn";
+  if (!start::core::SaveModelCheckpoint(
+           checkpoint, model, start::core::HashStartConfig(config)).ok()) {
+    std::abort();
+  }
+  r.checkpoint_bytes = FileBytes(checkpoint);
+
+  auto f32 = start::serve::FrozenEncoder::Load(checkpoint, config,
+                                               w.net.get(), w.transfer.get());
+  start::serve::FrozenEncoderOptions opts;
+  opts.precision = start::serve::Precision::kInt8;
+  auto int8 = start::serve::FrozenEncoder::Load(
+      checkpoint, config, w.net.get(), w.transfer.get(), opts);
+  if (!f32.ok() || !int8.ok()) std::abort();
+  r.quantized_layers = int8.value()->quantized_layer_count();
+
+  const std::string snapshot = "bench_serve_snapshot_q8.sttn";
+  if (!int8.value()->SaveSnapshot(snapshot).ok()) std::abort();
+  r.snapshot_bytes = FileBytes(snapshot);
+
+  // Best of two runs each, interleaved so neither side owns the warm cache.
+  const auto time_embed =
+      [&](const start::serve::FrozenEncoder& e, std::vector<float>* out) {
+        Stopwatch timer;
+        *out = e.EmbedAll(w.corpus, start::eval::EncodeMode::kFull);
+        return timer.ElapsedSeconds();
+      };
+  std::vector<float> ref, got;
+  double f32_s = time_embed(*f32.value(), &ref);
+  double int8_s = time_embed(*int8.value(), &got);
+  f32_s = std::min(f32_s, time_embed(*f32.value(), &ref));
+  int8_s = std::min(int8_s, time_embed(*int8.value(), &got));
+  const double n = static_cast<double>(w.corpus.size());
+  r.f32_tps = n / f32_s;
+  r.int8_tps = n / int8_s;
+  r.speedup = r.int8_tps / r.f32_tps;
+
+  const int64_t d = config.d;
+  double cos_sum = 0.0;
+  for (size_t i = 0; i < w.corpus.size(); ++i) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double a = ref[i * static_cast<size_t>(d) + j];
+      const double b = got[i * static_cast<size_t>(d) + j];
+      dot += a * b;
+      na += a * a;
+      nb += b * b;
+    }
+    cos_sum += dot / std::sqrt(na * nb);
+  }
+  r.mean_cos = cos_sum / n;
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -394,6 +490,11 @@ int main() {
   // 5. ANN retrieval: HnswIndex vs the exact oracle.
   const AnnResults ann = MeasureAnn();
 
+  // 6. Quantized serving at d=192.
+  const QuantResults quant = MeasureQuantized(w);
+  const bool qgemm_avx2 = start::tensor::qgemm::ActiveBackend() ==
+                          start::tensor::qgemm::Backend::kAvx2;
+
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("host                    : %u hardware threads\n", cores);
   std::printf("corpus embed trajs/sec  : seed grad path %.1f | frozen %.1f "
@@ -423,6 +524,19 @@ int main() {
               "normalize pass now runs before the exclusive lock (it sat "
               "inside it before the hoist, blocking readers)\n",
               ann.load_total_ms, ann.load_prelock_ms);
+  std::printf("quantized embed (d=192) : f32 %.1f | int8 %.1f trajs/sec "
+              "(%.2fx, %ld int8 layers, %s backend)\n",
+              quant.f32_tps, quant.int8_tps, quant.speedup,
+              quant.quantized_layers,
+              start::tensor::qgemm::BackendName(
+                  start::tensor::qgemm::ActiveBackend()));
+  std::printf("quantized mean cosine   : %.6f vs the f32 engine\n",
+              quant.mean_cos);
+  std::printf("quantized artifact      : snapshot %ld bytes vs checkpoint "
+              "%ld bytes (%.2fx smaller)\n",
+              quant.snapshot_bytes, quant.checkpoint_bytes,
+              static_cast<double>(quant.checkpoint_bytes) /
+                  static_cast<double>(quant.snapshot_bytes));
 
   std::FILE* json = std::fopen("BENCH_serve.json", "w");
   if (json == nullptr) {
@@ -455,7 +569,15 @@ int main() {
                "  \"ann_exact_latency_ms\": {\"p50\": %.4f, \"p95\": %.4f},\n"
                "  \"ann_hnsw_latency_ms\": {\"p50\": %.4f, \"p95\": %.4f},\n"
                "  \"ann_exact_bulk_load_ms\": {\"total\": %.1f, "
-               "\"normalize_prelock\": %.1f}\n"
+               "\"normalize_prelock\": %.1f},\n"
+               "  \"quantized_backend\": \"%s\",\n"
+               "  \"quantized_layers\": %ld,\n"
+               "  \"quantized_embed_trajs_per_sec\": {\"f32\": %.2f, "
+               "\"int8\": %.2f},\n"
+               "  \"quantized_embed_speedup\": %.3f,\n"
+               "  \"quantized_embed_mean_cos\": %.6f,\n"
+               "  \"quantized_artifact_bytes\": {\"checkpoint\": %ld, "
+               "\"snapshot\": %ld}\n"
                "}\n",
                cores, embed_seed, embed_frozen, frozen_speedup, thr1, thr4,
                scaling, coalescing, pad_eff, lat_p50, lat_p95,
@@ -463,7 +585,12 @@ int main() {
                ann.config.M, ann.config.ef_construction, ann.config.ef_search,
                ann.build_seconds, ann.exact_qps, ann.hnsw_qps, ann.speedup,
                ann.recall_at_10, ann.exact_p50, ann.exact_p95, ann.hnsw_p50,
-               ann.hnsw_p95, ann.load_total_ms, ann.load_prelock_ms);
+               ann.hnsw_p95, ann.load_total_ms, ann.load_prelock_ms,
+               start::tensor::qgemm::BackendName(
+                   start::tensor::qgemm::ActiveBackend()),
+               quant.quantized_layers, quant.f32_tps, quant.int8_tps,
+               quant.speedup, quant.mean_cos, quant.checkpoint_bytes,
+               quant.snapshot_bytes);
   std::fclose(json);
   std::printf("wrote BENCH_serve.json\n");
 
@@ -510,6 +637,32 @@ int main() {
   if (ann.recall_at_10 < 0.95) {
     std::fprintf(stderr, "FAIL: hnsw recall@10 %.4f < 0.95\n",
                  ann.recall_at_10);
+    return 1;
+  }
+  // 6. Quantized serving. The accuracy and size gates are algorithmic and
+  //    hold on any host. The throughput gate depends on the SIMD backend:
+  //    with AVX2 the int8 kernels must at least double the f32 frozen path
+  //    at serving width; on scalar-only hosts the quantized path must still
+  //    never be slower (the committed baseline comes from an AVX2 host).
+  if (quant.mean_cos < 0.999) {
+    std::fprintf(stderr, "FAIL: quantized mean cosine %.6f < 0.999\n",
+                 quant.mean_cos);
+    return 1;
+  }
+  if (quant.snapshot_bytes <= 0 ||
+      quant.snapshot_bytes * 2 > quant.checkpoint_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot %ld bytes not <= half of checkpoint %ld\n",
+                 quant.snapshot_bytes, quant.checkpoint_bytes);
+    return 1;
+  }
+  const double quant_floor = qgemm_avx2 ? 2.0 : 0.9;
+  if (quant.speedup < quant_floor) {
+    std::fprintf(stderr, "FAIL: quantized embed speedup %.2fx < %.1fx (%s "
+                 "backend)\n",
+                 quant.speedup, quant_floor,
+                 start::tensor::qgemm::BackendName(
+                     start::tensor::qgemm::ActiveBackend()));
     return 1;
   }
   return 0;

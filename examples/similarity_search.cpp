@@ -8,6 +8,11 @@
 // --index=exact|hnsw|both (default both) picks the retrieval backend: the
 // exact brute-force EmbeddingIndex, the approximate HnswIndex, or both —
 // in which case the demo also reports recall@10 of hnsw against exact.
+//
+// --precision=f32|int8 (default f32) picks the frozen engine's numeric
+// regime: int8 quantizes the stage-2 projection Linears to per-row-scaled
+// int8 (tensor::qgemm) at load, trading <= 0.001 cosine error for ~2x
+// embedding throughput at serving widths.
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -31,18 +36,27 @@
 int main(int argc, char** argv) {
   using namespace start;
   bool use_exact = true, use_hnsw = true;
+  serve::FrozenEncoderOptions engine_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--index=exact") == 0) {
       use_hnsw = false;
     } else if (std::strcmp(argv[i], "--index=hnsw") == 0) {
       use_exact = false;
-    } else if (std::strcmp(argv[i], "--index=both") != 0) {
-      std::fprintf(stderr, "usage: %s [--index=exact|hnsw|both]\n", argv[0]);
+    } else if (std::strcmp(argv[i], "--precision=int8") == 0) {
+      engine_options.precision = serve::Precision::kInt8;
+    } else if (std::strcmp(argv[i], "--index=both") != 0 &&
+               std::strcmp(argv[i], "--precision=f32") != 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--index=exact|hnsw|both] [--precision=f32|int8]\n",
+                   argv[0]);
       return 1;
     }
   }
-  std::printf("=== similarity search example (serving plane, index=%s) ===\n",
-              use_exact && use_hnsw ? "both" : (use_hnsw ? "hnsw" : "exact"));
+  std::printf("=== similarity search example (serving plane, index=%s, "
+              "precision=%s) ===\n",
+              use_exact && use_hnsw ? "both" : (use_hnsw ? "hnsw" : "exact"),
+              engine_options.precision == serve::Precision::kInt8 ? "int8"
+                                                                  : "f32");
   const roadnet::RoadNetwork net = roadnet::BuildSyntheticCity(
       {.grid_width = 8, .grid_height = 8, .seed = 25});
   traj::TrafficModel traffic(&net, {});
@@ -75,13 +89,17 @@ int main(int argc, char** argv) {
   // The serving engine: the checkpoint artifact loaded as an immutable
   // snapshot — no grad buffers, dropout off, road table precomputed.
   auto loaded = serve::FrozenEncoder::Load(pretrain.checkpoint_path, config,
-                                           &net, &transfer);
+                                           &net, &transfer, engine_options);
   if (!loaded.ok()) {
     std::fprintf(stderr, "frozen-engine load failed: %s\n",
                  loaded.status().ToString().c_str());
     return 1;
   }
   const auto engine = std::move(loaded).value();
+  if (engine->precision() == serve::Precision::kInt8) {
+    std::printf("engine quantized: %ld stage-2 Linears on the int8 path\n",
+                engine->quantized_layer_count());
+  }
 
   // Detour ground truth (Sec. IV-D4a): replace a sub-trajectory with a
   // top-k alternative whose travel time differs by more than t_d.

@@ -31,10 +31,62 @@ Tensor Linear::Forward(const Tensor& x) const {
     x2 = tensor::Reshape(x, Shape({b * l, x.dim(2)}));
   }
   START_CHECK_EQ(x2.dim(1), in_features_);
-  Tensor y = tensor::MatMul(x2, weight_);
-  if (bias_.defined()) y = tensor::Add(y, bias_);
+  Tensor y;
+  if (packed_ != nullptr && !tensor::GradModeEnabled()) {
+    // Frozen int8 path: quantize activations per row, integer GEMM against
+    // the packed weight, dequant + bias in one epilogue.
+    const Tensor xc = x2.is_contiguous() ? x2 : x2.Contiguous();
+    y = Tensor::Zeros(Shape({x2.dim(0), out_features_}));
+    tensor::qgemm::AffineForward(xc.data(), in_features_, x2.dim(0), *packed_,
+                                 bias_.defined() ? bias_.data() : nullptr,
+                                 y.data(), out_features_);
+  } else {
+    y = tensor::MatMul(x2, weight_);
+    if (bias_.defined()) y = tensor::Add(y, bias_);
+  }
   if (is_3d) y = tensor::Reshape(y, Shape({b, l, out_features_}));
   return y;
+}
+
+void Linear::QuantizeInt8() {
+  const Tensor w = weight_.is_contiguous() ? weight_ : weight_.Contiguous();
+  // qgemm wants output-channel-major [out, in]; weight_ is [in, out].
+  std::vector<float> wt(
+      static_cast<size_t>(in_features_ * out_features_));
+  const float* src = w.data();
+  for (int64_t i = 0; i < in_features_; ++i) {
+    for (int64_t j = 0; j < out_features_; ++j) {
+      wt[static_cast<size_t>(j * in_features_ + i)] =
+          src[i * out_features_ + j];
+    }
+  }
+  packed_ = std::make_shared<tensor::qgemm::PackedMatrix>(
+      tensor::qgemm::QuantizeAndPack(wt.data(), in_features_, out_features_,
+                                     in_features_));
+}
+
+common::Status Linear::SetQuantizedWeights(tensor::qgemm::PackedMatrix packed) {
+  if (packed.rows != out_features_ || packed.cols != in_features_) {
+    return common::Status::InvalidArgument(
+        "quantized weight shape [" + std::to_string(packed.rows) + ", " +
+        std::to_string(packed.cols) + "] does not match layer [" +
+        std::to_string(out_features_) + ", " + std::to_string(in_features_) +
+        "]");
+  }
+  if (packed.scales.size() != static_cast<size_t>(packed.rows) ||
+      packed.data.size() !=
+          static_cast<size_t>(packed.rows_padded * packed.cols_padded) ||
+      packed.rows_padded < packed.rows || packed.cols_padded < packed.cols) {
+    return common::Status::InvalidArgument(
+        "inconsistent quantized weight buffers");
+  }
+  packed_ = std::make_shared<tensor::qgemm::PackedMatrix>(std::move(packed));
+  return common::Status::OK();
+}
+
+const tensor::qgemm::PackedMatrix& Linear::quantized_weights() const {
+  START_CHECK(packed_ != nullptr);
+  return *packed_;
 }
 
 Embedding::Embedding(int64_t num_embeddings, int64_t dim, common::Rng* rng)

@@ -2,21 +2,41 @@
 #define START_NN_LAYERS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "nn/module.h"
 #include "tensor/ops.h"
+#include "tensor/qgemm.h"
 
 namespace start::nn {
 
 /// \brief Affine layer y = x W + b. Accepts 2-D [N,in] or 3-D [B,L,in] input.
+///
+/// A Linear can additionally hold an int8 panel-packed copy of its weight
+/// (QuantizeInt8 / SetQuantizedWeights). The packed copy is used by Forward
+/// only under NoGradGuard (inference); training and any grad-enabled forward
+/// keep using the f32 weight bitwise unchanged.
 class Linear : public Module {
  public:
   Linear(int64_t in_features, int64_t out_features, common::Rng* rng,
          bool bias = true);
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// Quantizes the current f32 weight into the packed int8 form (per-row
+  /// scales over output channels) and enables the int8 inference path.
+  /// Deterministic: same weight bytes -> same packed bytes.
+  void QuantizeInt8();
+
+  /// Installs externally loaded quantized weights (e.g. from a snapshot).
+  /// Fails if the logical shape does not match [out, in].
+  common::Status SetQuantizedWeights(tensor::qgemm::PackedMatrix packed);
+
+  bool is_quantized() const { return packed_ != nullptr; }
+  /// Requires is_quantized().
+  const tensor::qgemm::PackedMatrix& quantized_weights() const;
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
@@ -27,6 +47,8 @@ class Linear : public Module {
   int64_t out_features_;
   tensor::Tensor weight_;  // [in, out]
   tensor::Tensor bias_;    // [out] (undefined when bias == false)
+  // Set once before serving (never mutated concurrently with Forward).
+  std::shared_ptr<const tensor::qgemm::PackedMatrix> packed_;
 };
 
 /// \brief Embedding table lookup: indices -> rows of a [num, dim] table.

@@ -26,6 +26,21 @@ void Module::CollectParameters(
   }
 }
 
+std::vector<std::pair<std::string, Module*>> Module::NamedModules() {
+  std::vector<std::pair<std::string, Module*>> out;
+  CollectModules("", &out);
+  return out;
+}
+
+void Module::CollectModules(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Module*>>* out) {
+  out->emplace_back(prefix, this);
+  for (const auto& [name, child] : children_) {
+    child->CollectModules(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
 std::vector<tensor::Tensor> Module::Parameters() const {
   std::vector<tensor::Tensor> out;
   for (auto& [name, t] : NamedParameters()) out.push_back(t);

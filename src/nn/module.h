@@ -31,6 +31,12 @@ class Module {
   /// Parameters without names.
   std::vector<tensor::Tensor> Parameters() const;
 
+  /// This module and every registered submodule, depth-first, with dotted
+  /// paths ("" for the root, "encoder0.attn.wq" for a leaf). Non-const
+  /// pointers so callers can apply structural transforms (e.g. post-training
+  /// quantization) to selected submodules.
+  std::vector<std::pair<std::string, Module*>> NamedModules();
+
   /// Zeroes the gradients of every parameter.
   void ZeroGrad();
 
@@ -79,6 +85,9 @@ class Module {
   void CollectParameters(
       const std::string& prefix,
       std::vector<std::pair<std::string, tensor::Tensor>>* out) const;
+
+  void CollectModules(const std::string& prefix,
+                      std::vector<std::pair<std::string, Module*>>* out);
 
   std::vector<std::pair<std::string, tensor::Tensor>> params_;
   std::vector<std::pair<std::string, Module*>> children_;

@@ -14,6 +14,17 @@
 
 namespace start::serve {
 
+/// Numeric regime of a frozen engine. kFloat32 is the bitwise-reference
+/// path; kInt8 quantizes every stage-2 transformer projection Linear
+/// (attention wq/wk/wv/wo and FFN fc1/fc2) to per-row-scaled int8 with the
+/// tensor::qgemm kernels, keeping layernorm, softmax, activations, and all
+/// non-Linear parameters in f32 (see ARCHITECTURE.md "Quantized serving").
+enum class Precision { kFloat32, kInt8 };
+
+struct FrozenEncoderOptions {
+  Precision precision = Precision::kFloat32;
+};
+
 /// \brief Immutable inference snapshot of a pre-trained START model: the
 /// serving plane's engine.
 ///
@@ -49,6 +60,26 @@ class FrozenEncoder {
   static common::Result<std::unique_ptr<FrozenEncoder>> Load(
       const std::string& checkpoint_path, const core::StartConfig& config,
       const roadnet::RoadNetwork* net,
+      const roadnet::TransferProbability* transfer,
+      const FrozenEncoderOptions& options = {});
+
+  /// \brief Persists this engine as a serving-only snapshot (~2-4x smaller
+  /// than the training checkpoint): quantized Linears as int8 records, the
+  /// precomputed extended table and all matrix-shaped parameters (embedding
+  /// tables, unquantized weights) as f16, and 1-D vectors (biases, layernorm
+  /// gamma/beta) as exact f32.
+  /// Stage-1 (TPE-GAT / road table) and the MLM head are dropped entirely —
+  /// a snapshot can serve but never resume training. Deterministic: the same
+  /// engine state always writes the same bytes.
+  common::Status SaveSnapshot(const std::string& path);
+
+  /// \brief Loads a SaveSnapshot artifact. Skips stage-1 recomputation (the
+  /// extended table comes from the file), so it is also much faster than
+  /// Load. Same pure-Status boundary: corrupt, truncated, mismatched, or
+  /// non-finite-scale artifacts return an error, never crash.
+  static common::Result<std::unique_ptr<FrozenEncoder>> LoadSnapshot(
+      const std::string& snapshot_path, const core::StartConfig& config,
+      const roadnet::RoadNetwork* net,
       const roadnet::TransferProbability* transfer);
 
   /// Representation dimensionality d.
@@ -59,6 +90,12 @@ class FrozenEncoder {
 
   /// Architecture of the loaded artifact.
   const core::StartConfig& config() const { return model_->config(); }
+
+  /// Numeric regime this engine runs in.
+  Precision precision() const { return precision_; }
+
+  /// Number of Linear layers running the int8 path (0 under kFloat32).
+  int64_t quantized_layer_count() const { return quantized_layers_; }
 
   /// \brief Encodes a batch of trajectories; returns dense [B, dim].
   ///
@@ -89,6 +126,8 @@ class FrozenEncoder {
 
   std::unique_ptr<core::StartModel> model_;
   tensor::Tensor ext_table_;  ///< Precomputed [V+2, d] token lookup table.
+  Precision precision_ = Precision::kFloat32;
+  int64_t quantized_layers_ = 0;
 };
 
 }  // namespace start::serve

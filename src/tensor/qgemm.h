@@ -1,0 +1,110 @@
+#ifndef START_TENSOR_QGEMM_H_
+#define START_TENSOR_QGEMM_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Post-training int8 GEMM for the frozen serving plane.
+///
+/// Scheme (marian-style symmetric per-row quantization):
+///  - Weights are stored output-channel-major ([N, K], i.e. the B^T layout of
+///    GemmNT) and quantized per row with absmax scales: s_j = absmax_j / 127,
+///    q = clamp(round_half_even(x / s_j), -127, 127). A zero row gets s = 0
+///    and all-zero codes, so dequantization is exact there too.
+///  - Activations are quantized dynamically per batch row with the same
+///    per-row absmax scheme.
+///  - The dot products accumulate in exact i32 arithmetic and dequantize once
+///    per output element: C[i,j] += float(acc) * (sa_i * sb_j). Because the
+///    integer part is exact and the float epilogue is shared between
+///    backends, results are bitwise identical across the scalar reference,
+///    the AVX2 microkernel, and any OpenMP thread count (rows are
+///    independent).
+///
+/// Packing layout (cache-blocked panels): rows are grouped into panels of
+/// kRowsPerPanel output channels; within a panel the K dimension is split
+/// into blocks of kColBlock bytes, stored as [k-block][row-in-panel], so the
+/// microkernel streams one contiguous cache line per (row, k-block) step.
+/// Both K and N are zero-padded to multiples of the block sizes; padding
+/// contributes exact zeros to every dot product.
+///
+/// i32 accumulation is exact while K * 127 * 127 < 2^31, i.e. K <= ~133k —
+/// far above any model width here; Pack CHECK-enforces the bound.
+
+namespace start::tensor::qgemm {
+
+/// Output channels interleaved per packed panel.
+inline constexpr int64_t kRowsPerPanel = 4;
+/// K-dimension block (bytes per row per step) — one AVX2 register of int8.
+inline constexpr int64_t kColBlock = 32;
+
+/// A quantized, panel-packed weight matrix (logical [rows, cols] = [N, K]).
+struct PackedMatrix {
+  int64_t rows = 0;         ///< N: output channels.
+  int64_t cols = 0;         ///< K: reduction depth.
+  int64_t rows_padded = 0;  ///< rows rounded up to kRowsPerPanel.
+  int64_t cols_padded = 0;  ///< cols rounded up to kColBlock.
+  std::vector<int8_t> data;   ///< rows_padded * cols_padded packed bytes.
+  std::vector<float> scales;  ///< [rows] per-row dequant scales.
+};
+
+/// Kernel backends. kScalar is the portable reference; kAvx2 is the SIMD
+/// microkernel (maddubs + sign-transfer, 32 int8 products per instruction).
+/// Both produce bitwise identical output.
+enum class Backend { kScalar, kAvx2 };
+
+/// The backend the host dispatches to: kAvx2 when the CPU supports AVX2 and
+/// the environment variable START_QGEMM_BACKEND is not "scalar".
+Backend ActiveBackend();
+const char* BackendName(Backend backend);
+
+/// \brief Per-row absmax int8 quantization of `rows` x `cols` floats read
+/// with leading dimension `ld` (so strided views / submatrices quantize
+/// without materialisation). Writes dense row-major [rows, cols] codes and
+/// one scale per row.
+void QuantizeRows(const float* src, int64_t ld, int64_t rows, int64_t cols,
+                  int8_t* dst, float* scales);
+
+/// Packs dense row-major [rows, cols] int8 codes (+ per-row scales) into the
+/// panel layout above.
+PackedMatrix Pack(const int8_t* q, const float* scales, int64_t rows,
+                  int64_t cols);
+
+/// Quantize + pack in one step from f32 row-major [rows, cols] with leading
+/// dimension `ld`.
+PackedMatrix QuantizeAndPack(const float* src, int64_t ld, int64_t rows,
+                             int64_t cols);
+
+/// Round-trip of Pack: recovers the dense row-major [rows, cols] int8 codes
+/// (padding dropped). Pack(Unpack(m)) == m bitwise.
+std::vector<int8_t> Unpack(const PackedMatrix& m);
+
+/// \brief Quantizes `m` activation rows of `a` (f32, leading dimension
+/// `lda`) against packed weights `b`: writes int8 codes with leading
+/// dimension b.cols_padded (the k-tail [cols, cols_padded) zero-filled) and
+/// one scale per row. `aq` must hold m * b.cols_padded bytes.
+void QuantizeActivations(const float* a, int64_t lda, int64_t m,
+                         const PackedMatrix& b, int8_t* aq, float* a_scales);
+
+/// \brief C[m, b.rows] (ldc) += dequant(Aq · Bq^T): i32 accumulate over the
+/// quantized codes, then += float(acc) * (a_scales[i] * b.scales[j]).
+///
+/// `aq` is the QuantizeActivations output (leading dimension b.cols_padded).
+/// Columns [b.rows, ldc) of C are never touched. Parallelises over rows;
+/// bitwise invariant in thread count and backend.
+void Gemm(const int8_t* aq, const float* a_scales, int64_t m,
+          const PackedMatrix& b, float* c, int64_t ldc, Backend backend);
+void Gemm(const int8_t* aq, const float* a_scales, int64_t m,
+          const PackedMatrix& b, float* c, int64_t ldc);
+
+/// \brief One-call affine epilogue for nn::Linear's frozen int8 path:
+/// y[m, b.rows] (ldy) = dequant(quantize(x) · Bq^T) + bias, overwriting y
+/// (bias may be null = zero). Uses thread-local scratch for the quantized
+/// activations, so steady-state serving allocates nothing.
+void AffineForward(const float* x, int64_t ldx, int64_t m,
+                   const PackedMatrix& b, const float* bias, float* y,
+                   int64_t ldy);
+
+}  // namespace start::tensor::qgemm
+
+#endif  // START_TENSOR_QGEMM_H_

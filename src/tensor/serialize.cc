@@ -18,12 +18,16 @@ constexpr char kMagic[4] = {'S', 'T', 'T', 'N'};
 constexpr uint32_t kLegacyVersion = 1;  ///< Tensors only, no CRC, no tag.
 constexpr uint32_t kVersion = 2;
 
-// Record kinds of the v2 container.
+// Record kinds of the v2 container. New kinds append — old readers reject
+// unknown kinds with a clean error rather than misparsing.
 enum RecordKind : uint8_t {
   kTensorF32 = 0,
   kArrayF64 = 1,
   kArrayI64 = 2,
   kArrayU64 = 3,
+  kTensorI8 = 4,   // i64 rows, i64 cols, u64 scale_count, f32[rows] scales,
+                   // int8[rows*cols] row-major codes
+  kTensorF16 = 5,  // u32 ndim, i64 dims..., u16[numel] IEEE binary16
 };
 
 constexpr int64_t kMaxNdim = 8;
@@ -161,6 +165,63 @@ common::Result<LoadedBundle> LoadLegacyBody(std::FILE* f,
 
 }  // namespace
 
+uint16_t F32ToF16(float x) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &x, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const uint32_t exp = (bits >> 23) & 0xffu;
+  uint32_t mant = bits & 0x7fffffu;
+  if (exp == 0xffu) {  // inf / NaN (NaN payload collapsed to a quiet bit)
+    return static_cast<uint16_t>(sign | 0x7c00u | (mant != 0 ? 0x200u : 0));
+  }
+  const int32_t e = static_cast<int32_t>(exp) - 127 + 15;
+  if (e >= 31) return static_cast<uint16_t>(sign | 0x7c00u);  // overflow->inf
+  if (e <= 0) {
+    if (e < -10) return static_cast<uint16_t>(sign);  // underflow -> +-0
+    mant |= 0x800000u;  // make the implicit bit explicit, then shift out
+    const uint32_t shift = static_cast<uint32_t>(14 - e);  // in [14, 24]
+    uint32_t half = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return static_cast<uint16_t>(sign | half);
+  }
+  // Normal range: narrow the mantissa 23 -> 10 bits with round-to-nearest-
+  // even; a rounding carry propagates into the exponent (and saturates to
+  // inf) for free because the fields are adjacent.
+  uint32_t half = (static_cast<uint32_t>(e) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<uint16_t>(sign | half);
+}
+
+float F16ToF32(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t mant = h & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;
+    } else {  // subnormal: normalize into f32's much wider exponent range
+      int32_t e = 0;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        ++e;
+      }
+      mant &= 0x3ffu;
+      bits = sign | (static_cast<uint32_t>(113 - e) << 23) | (mant << 13);
+    }
+  } else if (exp == 31) {
+    bits = sign | 0x7f800000u | (mant << 13);
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float out = 0.0f;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
 uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
   // Table-driven CRC-32 (IEEE), table built once on first use.
   static const auto table = [] {
@@ -194,7 +255,8 @@ common::Status SaveBundle(const std::string& path, uint64_t meta_tag,
       return common::Status::IOError("cannot open for write: " + tmp_path);
     }
     const uint64_t count = bundle.tensors.size() + bundle.doubles.size() +
-                           bundle.ints.size() + bundle.uints.size();
+                           bundle.ints.size() + bundle.uints.size() +
+                           bundle.qtensors.size() + bundle.halfs.size();
     if (!WriteBytes(f.get(), kMagic, 4) ||
         !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
         !WriteBytes(f.get(), &meta_tag, sizeof(meta_tag)) ||
@@ -230,6 +292,38 @@ common::Status SaveBundle(const std::string& path, uint64_t meta_tag,
     for (const auto& [name, v] : bundle.uints) {
       START_RETURN_IF_ERROR(
           WriteArrayRecord(f.get(), &buf, name, kArrayU64, v));
+    }
+    for (const auto& [name, q] : bundle.qtensors) {
+      if (q.rows <= 0 || q.cols <= 0 ||
+          q.scales.size() != static_cast<size_t>(q.rows) ||
+          q.data.size() != static_cast<size_t>(q.rows * q.cols)) {
+        return common::Status::InvalidArgument(
+            "inconsistent quantized tensor: " + name);
+      }
+      BeginRecord(&buf, name, kTensorI8);
+      AppendValue(&buf, q.rows);
+      AppendValue(&buf, q.cols);
+      AppendValue(&buf, static_cast<uint64_t>(q.scales.size()));
+      Append(&buf, q.scales.data(), q.scales.size() * sizeof(float));
+      Append(&buf, q.data.data(), q.data.size());
+      START_RETURN_IF_ERROR(WriteRecord(f.get(), &buf, name));
+    }
+    for (const auto& [name, t] : bundle.halfs) {
+      if (!t.defined()) {
+        return common::Status::InvalidArgument("undefined tensor: " + name);
+      }
+      if (t.ndim() > kMaxNdim) {
+        return common::Status::InvalidArgument("too many dims: " + name);
+      }
+      BeginRecord(&buf, name, kTensorF16);
+      AppendValue(&buf, static_cast<uint32_t>(t.ndim()));
+      for (int64_t i = 0; i < t.ndim(); ++i) AppendValue(&buf, t.dim(i));
+      const Tensor dense = t.is_contiguous() ? t : t.Detach();
+      const float* src = dense.data();
+      for (int64_t i = 0; i < dense.numel(); ++i) {
+        AppendValue(&buf, F32ToF16(src[i]));
+      }
+      START_RETURN_IF_ERROR(WriteRecord(f.get(), &buf, name));
     }
     if (std::fflush(f.get()) != 0) {
       return common::Status::IOError("flush failed: " + tmp_path);
@@ -372,19 +466,102 @@ common::Result<LoadedBundle> LoadBundle(const std::string& path) {
       if (data == nullptr) {
         return common::Status::IOError("truncated array data for " + name);
       }
+      // len == 0 is a legal record; v.data() is null then, and memcpy's
+      // pointer arguments must be non-null even for a zero-byte copy.
       if (kind == kArrayF64) {
         auto& v = out.records.doubles[name];
         v.resize(static_cast<size_t>(len));
-        std::memcpy(v.data(), data, v.size() * sizeof(double));
+        if (len != 0) std::memcpy(v.data(), data, v.size() * sizeof(double));
       } else if (kind == kArrayI64) {
         auto& v = out.records.ints[name];
         v.resize(static_cast<size_t>(len));
-        std::memcpy(v.data(), data, v.size() * sizeof(int64_t));
+        if (len != 0) std::memcpy(v.data(), data, v.size() * sizeof(int64_t));
       } else {
         auto& v = out.records.uints[name];
         v.resize(static_cast<size_t>(len));
-        std::memcpy(v.data(), data, v.size() * sizeof(uint64_t));
+        if (len != 0) std::memcpy(v.data(), data, v.size() * sizeof(uint64_t));
       }
+    } else if (kind == kTensorI8) {
+      int64_t rows = 0;
+      int64_t cols = 0;
+      uint64_t scale_count = 0;
+      if (!ReadValueInto(f.get(), &buf, &rows) ||
+          !ReadValueInto(f.get(), &buf, &cols) ||
+          !ReadValueInto(f.get(), &buf, &scale_count)) {
+        return common::Status::IOError("truncated int8 header for " + name);
+      }
+      if (rows <= 0 || cols <= 0 || rows > (1LL << 40) / cols) {
+        return common::Status::InvalidArgument("bad dim in " + path);
+      }
+      if (scale_count != static_cast<uint64_t>(rows)) {
+        return common::Status::InvalidArgument(
+            "quantized tensor '" + name + "' scale count " +
+            std::to_string(scale_count) + " != rows " + std::to_string(rows) +
+            " in " + path);
+      }
+      const uint64_t payload = scale_count * sizeof(float) +
+                               static_cast<uint64_t>(rows) *
+                                   static_cast<uint64_t>(cols);
+      if (!payload_fits(payload)) {
+        return common::Status::InvalidArgument(
+            "quantized tensor '" + name + "' claims more data than " + path +
+            " holds (corrupted size field)");
+      }
+      QuantizedTensor q;
+      q.rows = rows;
+      q.cols = cols;
+      const uint8_t* scales =
+          ReadInto(f.get(), &buf, static_cast<size_t>(rows) * sizeof(float));
+      if (scales == nullptr) {
+        return common::Status::IOError("truncated scales for " + name);
+      }
+      q.scales.resize(static_cast<size_t>(rows));
+      std::memcpy(q.scales.data(), scales, q.scales.size() * sizeof(float));
+      const uint8_t* codes =
+          ReadInto(f.get(), &buf, static_cast<size_t>(rows * cols));
+      if (codes == nullptr) {
+        return common::Status::IOError("truncated data for " + name);
+      }
+      q.data.resize(static_cast<size_t>(rows * cols));
+      std::memcpy(q.data.data(), codes, q.data.size());
+      out.records.qtensors.emplace(name, std::move(q));
+    } else if (kind == kTensorF16) {
+      uint32_t ndim = 0;
+      if (!ReadValueInto(f.get(), &buf, &ndim)) {
+        return common::Status::IOError("truncated tensor header for " + name);
+      }
+      if (ndim > kMaxNdim) {
+        return common::Status::InvalidArgument("implausible ndim in " + path);
+      }
+      std::vector<int64_t> dims(ndim);
+      int64_t numel = 1;
+      for (auto& d : dims) {
+        if (!ReadValueInto(f.get(), &buf, &d)) {
+          return common::Status::IOError("truncated dims for " + name);
+        }
+        if (d <= 0 || numel > (1LL << 40) / d) {
+          return common::Status::InvalidArgument("bad dim in " + path);
+        }
+        numel *= d;
+      }
+      if (!payload_fits(static_cast<uint64_t>(numel) * sizeof(uint16_t))) {
+        return common::Status::InvalidArgument(
+            "tensor '" + name + "' claims more data than " + path +
+            " holds (corrupted size field)");
+      }
+      const uint8_t* data = ReadInto(
+          f.get(), &buf, static_cast<size_t>(numel) * sizeof(uint16_t));
+      if (data == nullptr) {
+        return common::Status::IOError("truncated data for " + name);
+      }
+      std::vector<float> values(static_cast<size_t>(numel));
+      for (int64_t j = 0; j < numel; ++j) {
+        uint16_t h = 0;
+        std::memcpy(&h, data + j * sizeof(uint16_t), sizeof(h));
+        values[static_cast<size_t>(j)] = F16ToF32(h);
+      }
+      out.records.halfs.emplace(
+          name, Tensor::FromVector(Shape(std::move(dims)), std::move(values)));
     } else {
       return common::Status::InvalidArgument(
           "unknown record kind " + std::to_string(kind) + " in " + path);

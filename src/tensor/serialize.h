@@ -11,19 +11,36 @@
 
 namespace start::tensor {
 
+/// \brief An int8-quantized matrix record: row-major [rows, cols] codes plus
+/// one f32 dequantization scale per row (see tensor/qgemm.h for the scheme).
+/// Stored UNPACKED on disk — the cache-blocked panel layout is a kernel
+/// implementation detail that may evolve; loaders re-pack.
+struct QuantizedTensor {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> scales;  ///< [rows]
+  std::vector<int8_t> data;   ///< [rows * cols]
+};
+
 /// \brief Typed named records persisted together in one checkpoint file.
 ///
 /// Tensors carry model/optimizer parameters; the scalar arrays carry trainer
 /// bookkeeping (loss accumulators, step cursors, RNG state) that must survive
-/// a save/load/resume cycle bitwise (see core/checkpoint.h).
+/// a save/load/resume cycle bitwise (see core/checkpoint.h). `qtensors` and
+/// `halfs` are the low-precision serving records: int8 weights and f16
+/// tensors (written via F32ToF16 round-to-nearest-even; loaded back as f32,
+/// so the round trip is value = F16ToF32(F32ToF16(x))).
 struct RecordBundle {
   std::map<std::string, Tensor> tensors;
   std::map<std::string, std::vector<double>> doubles;
   std::map<std::string, std::vector<int64_t>> ints;
   std::map<std::string, std::vector<uint64_t>> uints;
+  std::map<std::string, QuantizedTensor> qtensors;
+  std::map<std::string, Tensor> halfs;  ///< Written as f16, loaded as f32.
 
   bool empty() const {
-    return tensors.empty() && doubles.empty() && ints.empty() && uints.empty();
+    return tensors.empty() && doubles.empty() && ints.empty() &&
+           uints.empty() && qtensors.empty() && halfs.empty();
   }
 };
 
@@ -63,6 +80,11 @@ common::Result<std::map<std::string, Tensor>> LoadTensors(
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) used for per-record integrity;
 /// exposed so tests can craft corrupt files with valid structure.
 uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// IEEE binary16 conversions (round-to-nearest-even on narrowing; subnormals
+/// and inf/NaN handled). Exposed for the f16 record kind and its tests.
+uint16_t F32ToF16(float x);
+float F16ToF32(uint16_t h);
 
 }  // namespace start::tensor
 

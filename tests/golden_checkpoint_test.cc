@@ -33,7 +33,28 @@ std::vector<float> GoldenLegacyTable() {
   return v;
 }
 
+std::vector<int8_t> GoldenQ8Codes() {
+  std::vector<int8_t> v(3 * 5);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int8_t>(static_cast<int>(i * 37 % 255) - 127);
+  }
+  return v;
+}
+
+std::vector<float> GoldenQ8Scales() {
+  return {0.0078125f, 0.015625f, 0.0234375f};  // (r+1) / 128
+}
+
+std::vector<float> GoldenHalfTable() {
+  std::vector<float> v(8);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>(i) * 0.25f - 2.0f;
+  }
+  return v;
+}
+
 constexpr uint64_t kGoldenMetaTag = 0x60a1d2c3b4a59687ULL;
+constexpr uint64_t kGoldenQ8MetaTag = 0x51e8f00dc0ffee42ULL;
 
 std::vector<float> Flatten(const Tensor& t) {
   const Tensor dense = t.is_contiguous() ? t : t.Detach();
@@ -80,6 +101,50 @@ TEST(GoldenCheckpointTest, V2ContainerReadsBitwise) {
   EXPECT_EQ(loaded->records.ints.at("trainer.cursor"), cursor);
   const std::vector<uint64_t> rng = {0x0123456789abcdefULL, ~0ULL};
   EXPECT_EQ(loaded->records.uints.at("trainer.rng_state"), rng);
+}
+
+// The quantized-serving record kinds (int8 tensor + per-row scales, f16
+// tensor) read back bitwise from the committed fixture — pins the
+// serving-snapshot payload layout the same way v2 pins the f32 kinds.
+TEST(GoldenCheckpointTest, Q8ContainerReadsBitwise) {
+  const auto loaded =
+      LoadBundle(testutil::FixtureDir() + "/golden_q8.sttn");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString()
+                           << " — if the fixture is missing, regenerate via "
+                              "tools/make_golden_fixtures.cc (deliberate "
+                              "format breaks only)";
+  EXPECT_EQ(loaded->meta_tag, kGoldenQ8MetaTag);
+
+  ASSERT_EQ(loaded->records.qtensors.size(), 1u);
+  const QuantizedTensor& q = loaded->records.qtensors.at("encoder0.attn.wq");
+  EXPECT_EQ(q.rows, 3);
+  EXPECT_EQ(q.cols, 5);
+  EXPECT_EQ(q.data, GoldenQ8Codes());
+  testutil::ExpectFloatsBitwiseEqual(q.scales, GoldenQ8Scales(),
+                                     "q8 scales");
+
+  ASSERT_EQ(loaded->records.halfs.size(), 1u);
+  const Tensor& half = loaded->records.halfs.at("ext_table");
+  ASSERT_EQ(half.shape(), Shape({2, 4}));
+  testutil::ExpectFloatsBitwiseEqual(Flatten(half), GoldenHalfTable(),
+                                     "ext_table");
+
+  const std::vector<uint64_t> fmt = {1};
+  EXPECT_EQ(loaded->records.uints.at("snapshot.format"), fmt);
+}
+
+// A corrupted quantized fixture must be REJECTED — the CRC covers the int8
+// code payload too, not just the f32 kinds.
+TEST(GoldenCheckpointTest, CorruptedGoldenQ8IsRejected) {
+  auto bytes =
+      testutil::ReadFileBytes(testutil::FixtureDir() + "/golden_q8.sttn");
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x10;  // flip one payload bit
+  testutil::TempDir dir;
+  const std::string path = dir.File("golden_q8_corrupt.sttn");
+  testutil::WriteFileBytes(path, bytes);
+  const auto result = LoadBundle(path);
+  ASSERT_FALSE(result.ok());
 }
 
 // A corrupted copy of the golden v2 fixture must still be REJECTED — the

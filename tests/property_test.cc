@@ -18,6 +18,7 @@
 #include "roadnet/synthetic_city.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/qgemm.h"
 #include "testing.h"
 #include "traj/trip_generator.h"
 
@@ -538,6 +539,215 @@ TEST(BroadcastElementwisePropertyTest, BroadcastBackwardMatchesDense) {
                   1e-6);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 qgemm properties (tensor/qgemm.h): quantize→pack→gemm vs references.
+// ---------------------------------------------------------------------------
+
+namespace qg = tensor::qgemm;
+
+/// Exercises one (m, k, n, lda, ldc) instance end to end:
+///  - pack→unpack bitwise identity (and re-pack determinism);
+///  - Gemm output bitwise equal to an exact integer reference that replays
+///    the kernel's arithmetic (i64 dot checked against i32, then the same
+///    float dequant ops in the same order);
+///  - Gemm output within the analytic per-row-scale error bound of a
+///    double-precision GEMM over the original floats;
+///  - C padding tail (columns [n, ldc)) untouched;
+///  - bitwise invariance across OpenMP regimes and across backends.
+void CheckQGemmInstance(common::Rng* rng, int64_t m, int64_t k, int64_t n,
+                        int64_t lda, int64_t ldc) {
+  SCOPED_TRACE("m=" + std::to_string(m) + " k=" + std::to_string(k) +
+               " n=" + std::to_string(n) + " lda=" + std::to_string(lda) +
+               " ldc=" + std::to_string(ldc));
+  // Weights come from a wider base matrix (ldw > k): the strided-read path
+  // of QuantizeRows, i.e. quantizing a submatrix without materialising it.
+  const int64_t ldw = k + rng->UniformInt(5);
+  std::vector<float> w(static_cast<size_t>(n * ldw));
+  std::vector<float> a(static_cast<size_t>(m * lda));
+  std::vector<float> c_init(static_cast<size_t>(m * ldc));
+  for (auto& x : w) x = static_cast<float>(rng->Uniform(-2.0, 2.0));
+  for (auto& x : a) x = static_cast<float>(rng->Uniform(-2.0, 2.0));
+  for (auto& x : c_init) x = static_cast<float>(rng->Uniform(-1.0, 1.0));
+  // One all-zero weight row (when it fits) pins the scale-0 convention.
+  if (n >= 2) {
+    std::fill(w.begin() + static_cast<size_t>(ldw),
+              w.begin() + static_cast<size_t>(ldw + k), 0.0f);
+  }
+
+  // Dense quantized codes + packing round trip.
+  std::vector<int8_t> wq(static_cast<size_t>(n * k));
+  std::vector<float> wscales(static_cast<size_t>(n));
+  qg::QuantizeRows(w.data(), ldw, n, k, wq.data(), wscales.data());
+  const qg::PackedMatrix packed = qg::Pack(wq.data(), wscales.data(), n, k);
+  ASSERT_EQ(packed.rows, n);
+  ASSERT_EQ(packed.cols, k);
+  ASSERT_EQ(packed.rows_padded % qg::kRowsPerPanel, 0);
+  ASSERT_EQ(packed.cols_padded % qg::kColBlock, 0);
+  EXPECT_EQ(qg::Unpack(packed), wq) << "pack -> unpack must be the identity";
+  // QuantizeAndPack == QuantizeRows + Pack, bitwise (determinism of the
+  // whole quantization pipeline).
+  const qg::PackedMatrix packed2 = qg::QuantizeAndPack(w.data(), ldw, n, k);
+  EXPECT_EQ(packed2.data, packed.data);
+  testutil::ExpectFloatsBitwiseEqual(packed2.scales, packed.scales,
+                                     "quantization determinism");
+  if (n >= 2) {
+    EXPECT_EQ(wscales[1], 0.0f) << "all-zero row must quantize to scale 0";
+  }
+
+  // Quantized activations.
+  std::vector<int8_t> aq(static_cast<size_t>(m * packed.cols_padded));
+  std::vector<float> ascales(static_cast<size_t>(m));
+  qg::QuantizeActivations(a.data(), lda, m, packed, aq.data(),
+                          ascales.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = k; p < packed.cols_padded; ++p) {
+      ASSERT_EQ(aq[static_cast<size_t>(i * packed.cols_padded + p)], 0)
+          << "k-tail must be zero-filled";
+    }
+  }
+
+  // Exact expected output: integer dot in i64 (overflow-checked), then the
+  // kernel's own float epilogue ops in the kernel's order.
+  std::vector<float> expected = c_init;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int64_t>(
+                   aq[static_cast<size_t>(i * packed.cols_padded + p)]) *
+               wq[static_cast<size_t>(j * k + p)];
+      }
+      ASSERT_EQ(acc, static_cast<int32_t>(acc)) << "i32 accumulator overflow";
+      expected[static_cast<size_t>(i * ldc + j)] +=
+          static_cast<float>(static_cast<int32_t>(acc)) *
+          (ascales[static_cast<size_t>(i)] * wscales[static_cast<size_t>(j)]);
+    }
+  }
+
+  const std::vector<qg::Backend> backends =
+      qg::ActiveBackend() == qg::Backend::kAvx2
+          ? std::vector<qg::Backend>{qg::Backend::kScalar, qg::Backend::kAvx2}
+          : std::vector<qg::Backend>{qg::Backend::kScalar};
+  std::vector<std::vector<float>> results;
+  for (const qg::Backend backend : backends) {
+    SCOPED_TRACE(qg::BackendName(backend));
+    ForEachOmpRegime([&](const char* regime) {
+      SCOPED_TRACE(regime);
+      std::vector<float> c = c_init;
+      qg::Gemm(aq.data(), ascales.data(), m, packed, c.data(), ldc, backend);
+      results.push_back(std::move(c));
+    });
+  }
+  // Backend- and thread-count-invariance, bitwise, and exactness vs the
+  // integer reference.
+  for (size_t r = 0; r < results.size(); ++r) {
+    testutil::ExpectFloatsBitwiseEqual(results[0], results[r],
+                                       "backend/thread-count invariance");
+  }
+  testutil::ExpectFloatsBitwiseEqual(results[0], expected,
+                                     "exact integer reference");
+
+  // Padding tail untouched.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = n; j < ldc; ++j) {
+      ASSERT_EQ(results[0][static_cast<size_t>(i * ldc + j)],
+                c_init[static_cast<size_t>(i * ldc + j)]);
+    }
+  }
+
+  // Analytic quantization-error bound vs the f32 ground truth: with per-row
+  // scales sa, sb and |quantization error| <= scale/2 per element,
+  // |C - C_f32|(i,j) <= sum_p (|a_ip| sb_j / 2 + |w_jp| sa_i / 2
+  //                            + sa_i sb_j / 4), plus float-rounding slack.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double truth = 0;
+      double bound = 0;
+      const double sa = ascales[static_cast<size_t>(i)];
+      const double sb = wscales[static_cast<size_t>(j)];
+      for (int64_t p = 0; p < k; ++p) {
+        const double av =
+            a[static_cast<size_t>(i * lda + p)];
+        const double wv = w[static_cast<size_t>(j * ldw + p)];
+        truth += av * wv;
+        bound += std::fabs(av) * sb / 2 + std::fabs(wv) * sa / 2 +
+                 sa * sb / 4;
+      }
+      const double got = results[0][static_cast<size_t>(i * ldc + j)] -
+                         c_init[static_cast<size_t>(i * ldc + j)];
+      EXPECT_LE(std::fabs(got - truth),
+                bound * 1.0001 + 1e-4 * (1.0 + std::fabs(truth)))
+          << "analytic error bound violated at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+class QGemmPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QGemmPropertyTest, RandomShapesAgainstReferences) {
+  common::Rng rng(testutil::TestSeed(GetParam()));
+  const int64_t m = 1 + rng.UniformInt(16);
+  const int64_t k = 1 + rng.UniformInt(70);  // crosses the 32/64 block edges
+  const int64_t n = 1 + rng.UniformInt(20);
+  const int64_t lda = k + rng.UniformInt(5);
+  const int64_t ldc = n + rng.UniformInt(5);
+  CheckQGemmInstance(&rng, m, k, n, lda, ldc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QGemmPropertyTest, ::testing::Range(0, 10));
+
+TEST(QGemmEdgeShapeTest, BlockBoundariesAndDegenerateShapes) {
+  common::Rng rng(testutil::TestSeed());
+  const int64_t shapes[][3] = {
+      {1, 1, 1},  {1, 31, 1}, {2, 32, 4},
+      {3, 33, 5}, {4, 64, 8}, {5, 7, 9},
+  };
+  for (const auto& s : shapes) {
+    CheckQGemmInstance(&rng, s[0], s[1], s[2], /*lda=*/s[1], /*ldc=*/s[2]);
+  }
+}
+
+TEST(QGemmQuantizeTest, RoundHalfEvenAndSaturation) {
+  // absmax 127 -> scale exactly 1.0: codes are round-half-even of the input.
+  const std::vector<float> row = {127.0f, 0.5f,   1.5f,  2.5f, -0.5f,
+                                  -1.5f,  126.5f, -2.5f, 0.0f, -127.0f};
+  std::vector<int8_t> q(row.size());
+  float scale = 0;
+  qg::QuantizeRows(row.data(), static_cast<int64_t>(row.size()), 1,
+                   static_cast<int64_t>(row.size()), q.data(), &scale);
+  EXPECT_EQ(scale, 1.0f);
+  const std::vector<int8_t> want = {127, 0, 2, 2, 0, -2, 126, -2, 0, -127};
+  EXPECT_EQ(q, want);
+}
+
+TEST(QGemmAffineForwardTest, MatchesGemmPlusBias) {
+  common::Rng rng(testutil::TestSeed());
+  const int64_t m = 5, k = 40, n = 7, ldy = n + 3;
+  std::vector<float> w(static_cast<size_t>(n * k));
+  std::vector<float> x(static_cast<size_t>(m * k));
+  std::vector<float> bias(static_cast<size_t>(n));
+  for (auto& v : w) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : x) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : bias) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  const qg::PackedMatrix packed = qg::QuantizeAndPack(w.data(), k, n, k);
+
+  std::vector<float> y(static_cast<size_t>(m * ldy), -7.0f);
+  qg::AffineForward(x.data(), k, m, packed, bias.data(), y.data(), ldy);
+
+  // Reference: explicit quantize + bias-initialised C + Gemm.
+  std::vector<int8_t> aq(static_cast<size_t>(m * packed.cols_padded));
+  std::vector<float> ascales(static_cast<size_t>(m));
+  qg::QuantizeActivations(x.data(), k, m, packed, aq.data(), ascales.data());
+  std::vector<float> want(static_cast<size_t>(m * ldy), -7.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    std::copy(bias.begin(), bias.end(),
+              want.begin() + static_cast<size_t>(i * ldy));
+  }
+  qg::Gemm(aq.data(), ascales.data(), m, packed, want.data(), ldy);
+  // Columns [n, ldy) keep their initial value in both paths.
+  testutil::ExpectFloatsBitwiseEqual(y, want, "AffineForward == bias + Gemm");
 }
 
 }  // namespace

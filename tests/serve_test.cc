@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -20,6 +21,8 @@
 #include "serve/embedding_index.h"
 #include "serve/embedding_service.h"
 #include "serve/frozen_encoder.h"
+#include "serve/index_interface.h"
+#include "tensor/serialize.h"
 #include "testing.h"
 #include "traj/trip_generator.h"
 
@@ -102,6 +105,33 @@ class ServeTest : public ::testing::Test {
                                              city_, transfer_);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return std::move(result).value();
+  }
+
+  static std::unique_ptr<serve::FrozenEncoder> LoadFrozenInt8() {
+    serve::FrozenEncoderOptions options;
+    options.precision = serve::Precision::kInt8;
+    auto result = serve::FrozenEncoder::Load(*checkpoint_path_, *config_,
+                                             city_, transfer_, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  /// Per-trajectory cosine between two [n, d] embedding matrices.
+  static std::vector<double> RowCosines(const std::vector<float>& a,
+                                        const std::vector<float>& b,
+                                        int64_t d) {
+    EXPECT_EQ(a.size(), b.size());
+    std::vector<double> out;
+    for (size_t row = 0; row + d <= a.size(); row += d) {
+      double dot = 0, na = 0, nb = 0;
+      for (int64_t j = 0; j < d; ++j) {
+        dot += static_cast<double>(a[row + j]) * b[row + j];
+        na += static_cast<double>(a[row + j]) * a[row + j];
+        nb += static_cast<double>(b[row + j]) * b[row + j];
+      }
+      out.push_back(dot / (std::sqrt(na) * std::sqrt(nb) + 1e-30));
+    }
+    return out;
   }
 
   static roadnet::RoadNetwork* city_;
@@ -342,6 +372,235 @@ TEST_F(ServeTest, LinearProbeLeavesEncoderFrozen) {
                           before[i].size() * sizeof(float)),
               0)
         << "parameter " << i << " mutated by the linear probe";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 quantized serving: error budget, determinism, snapshot artifacts.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, QuantizedEncoderStaysWithinCosineBudget) {
+  const auto f32 = LoadFrozen();
+  const auto q = LoadFrozenInt8();
+  EXPECT_EQ(q->precision(), serve::Precision::kInt8);
+  // Every stage-2 projection Linear quantizes: wq/wk/wv/wo + fc1/fc2 per
+  // encoder layer, and nothing else (GAT, heads, norms stay f32).
+  EXPECT_EQ(q->quantized_layer_count(), 6 * config_->encoder_layers);
+  EXPECT_EQ(f32->quantized_layer_count(), 0);
+
+  const auto ref = f32->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  const auto got = q->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  const auto cosines = RowCosines(ref, got, f32->dim());
+  ASSERT_EQ(cosines.size(), corpus_->size());
+  for (size_t i = 0; i < cosines.size(); ++i) {
+    // The serving error budget (documented in ARCHITECTURE.md): per-
+    // embedding cosine vs the f32 reference stays >= 0.999.
+    EXPECT_GE(cosines[i], 0.999) << "trajectory " << i;
+  }
+}
+
+TEST_F(ServeTest, QuantizedKnnPrecisionAgainstExactF32Index) {
+  const auto f32 = LoadFrozen();
+  const auto q = LoadFrozenInt8();
+  const auto ref = f32->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  const auto got = q->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  const int64_t n = static_cast<int64_t>(corpus_->size());
+  ASSERT_GE(n, 10);
+  serve::EmbeddingIndex index(f32->dim());
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  ASSERT_TRUE(index.AddBatch(ids, ref).ok());
+  const auto precision = serve::KnnPrecision(index, ref, got, n, /*k=*/10);
+  ASSERT_TRUE(precision.ok()) << precision.status().ToString();
+  // Downstream error budget: quantized queries recover >= 90% of the f32
+  // exact top-10.
+  EXPECT_GE(*precision, 0.9);
+}
+
+TEST_F(ServeTest, QuantizationIsBitwiseDeterministic) {
+  // Two independent quantizations of the same checkpoint embed bitwise
+  // identically, and two snapshot saves produce byte-identical artifacts.
+  const auto q1 = LoadFrozenInt8();
+  const auto q2 = LoadFrozenInt8();
+  const auto e1 = q1->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  const auto e2 = q2->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  ASSERT_EQ(e1.size(), e2.size());
+  EXPECT_EQ(std::memcmp(e1.data(), e2.data(), e1.size() * sizeof(float)), 0);
+
+  const std::string snap1 = TempPath("snap_det1.sttn");
+  const std::string snap2 = TempPath("snap_det2.sttn");
+  ASSERT_TRUE(q1->SaveSnapshot(snap1).ok());
+  ASSERT_TRUE(q2->SaveSnapshot(snap2).ok());
+  EXPECT_EQ(ReadFileBytes(snap1), ReadFileBytes(snap2));
+}
+
+TEST_F(ServeTest, SnapshotRoundTripServesWithinBudget) {
+  const auto f32 = LoadFrozen();
+  const auto q = LoadFrozenInt8();
+  const std::string snap = TempPath("snap_roundtrip.sttn");
+  ASSERT_TRUE(q->SaveSnapshot(snap).ok());
+  // The serving artifact is substantially smaller than the training
+  // checkpoint (int8 weights, f16 table, no GAT / MLM head).
+  EXPECT_LT(ReadFileBytes(snap).size(),
+            ReadFileBytes(*checkpoint_path_).size() / 2);
+
+  auto loaded =
+      serve::FrozenEncoder::LoadSnapshot(snap, *config_, city_, transfer_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->precision(), serve::Precision::kInt8);
+  EXPECT_EQ((*loaded)->quantized_layer_count(), q->quantized_layer_count());
+
+  // quantize -> save -> load -> embed is bitwise reproducible across runs.
+  auto loaded2 =
+      serve::FrozenEncoder::LoadSnapshot(snap, *config_, city_, transfer_);
+  ASSERT_TRUE(loaded2.ok());
+  const auto a = (*loaded)->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  const auto b = (*loaded2)->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+
+  // The f16 ext_table adds error on top of int8, but the end-to-end budget
+  // still holds against the f32 reference.
+  const auto ref = f32->EmbedAll(*corpus_, eval::EncodeMode::kFull);
+  for (const double c : RowCosines(ref, a, f32->dim())) {
+    EXPECT_GE(c, 0.999);
+  }
+}
+
+TEST_F(ServeTest, LoadSnapshotRejectsPlainCheckpointAndWrongArch) {
+  // A plain model checkpoint is not a snapshot: clean error, no crash.
+  const auto as_snapshot = serve::FrozenEncoder::LoadSnapshot(
+      *checkpoint_path_, *config_, city_, transfer_);
+  EXPECT_FALSE(as_snapshot.ok());
+
+  const auto q = LoadFrozenInt8();
+  const std::string snap = TempPath("snap_arch.sttn");
+  ASSERT_TRUE(q->SaveSnapshot(snap).ok());
+  core::StartConfig wider = *config_;
+  wider.d = 32;
+  const auto wrong =
+      serve::FrozenEncoder::LoadSnapshot(snap, wider, city_, transfer_);
+  EXPECT_FALSE(wrong.ok());  // config-hash mismatch
+  // And the snapshot cannot be loaded through the checkpoint path either.
+  const auto as_checkpoint =
+      serve::FrozenEncoder::Load(snap, *config_, city_, transfer_);
+  EXPECT_FALSE(as_checkpoint.ok());
+}
+
+TEST_F(ServeTest, LoadSnapshotSurvivesTruncatedAndCorruptFiles) {
+  // The load-path fuzz sweep of LoadSurvivesTruncatedAndCorruptFiles,
+  // repeated against the new int8/f16 record types. No exemption window
+  // here: the snapshot's meta tag is checked strictly, so every single-byte
+  // flip must be rejected (by magic/version/shape checks, the config hash,
+  // or a record CRC) — never crash, never load silently.
+  const auto q = LoadFrozenInt8();
+  const std::string good_path = TempPath("snap_fuzz_good.sttn");
+  ASSERT_TRUE(q->SaveSnapshot(good_path).ok());
+  const std::vector<uint8_t> good = ReadFileBytes(good_path);
+  ASSERT_GT(good.size(), 64u);
+  const std::string path = TempPath("snap_fuzz.sttn");
+
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < 64; ++i) cuts.push_back(i);
+  for (size_t i = 64; i < good.size(); i += good.size() / 97 + 1) {
+    cuts.push_back(i);
+  }
+  for (const size_t cut : cuts) {
+    WriteFileBytes(path,
+                   std::vector<uint8_t>(good.begin(), good.begin() + cut));
+    const auto result =
+        serve::FrozenEncoder::LoadSnapshot(path, *config_, city_, transfer_);
+    EXPECT_FALSE(result.ok()) << "truncation at " << cut << " loaded";
+  }
+
+  common::Rng rng(4321);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> bad = good;
+    const size_t at = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(bad.size())));
+    bad[at] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+    WriteFileBytes(path, bad);
+    const auto result =
+        serve::FrozenEncoder::LoadSnapshot(path, *config_, city_, transfer_);
+    EXPECT_FALSE(result.ok()) << "byte flip at " << at << " loaded";
+  }
+}
+
+TEST_F(ServeTest, LoadSnapshotRejectsCraftedQuantizedRecords) {
+  // Structurally valid containers (correct CRCs) whose quantized records are
+  // semantically poisoned: NaN/inf scales, truncated scale arrays, shape
+  // mismatches. The reader or LoadSnapshot must reject each with a clean
+  // Status.
+  const auto q = LoadFrozenInt8();
+  const std::string good_path = TempPath("snap_craft_good.sttn");
+  ASSERT_TRUE(q->SaveSnapshot(good_path).ok());
+  auto loaded = tensor::LoadBundle(good_path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_FALSE(loaded->records.qtensors.empty());
+  const std::string first_q = loaded->records.qtensors.begin()->first;
+  const std::string path = TempPath("snap_craft.sttn");
+
+  const auto expect_rejected = [&](const char* what,
+                                   const tensor::LoadedBundle& bundle) {
+    SCOPED_TRACE(what);
+    ASSERT_TRUE(
+        tensor::SaveBundle(path, bundle.meta_tag, bundle.records).ok());
+    const auto result =
+        serve::FrozenEncoder::LoadSnapshot(path, *config_, city_, transfer_);
+    EXPECT_FALSE(result.ok()) << what << " loaded";
+  };
+
+  {
+    tensor::LoadedBundle bad = *loaded;
+    bad.records.qtensors[first_q].scales[0] =
+        std::numeric_limits<float>::quiet_NaN();
+    expect_rejected("NaN scale", bad);
+  }
+  {
+    tensor::LoadedBundle bad = *loaded;
+    bad.records.qtensors[first_q].scales.back() =
+        std::numeric_limits<float>::infinity();
+    expect_rejected("inf scale", bad);
+  }
+  {
+    tensor::LoadedBundle bad = *loaded;
+    bad.records.qtensors[first_q].scales[0] = -0.25f;
+    expect_rejected("negative scale", bad);
+  }
+  {
+    // Shape mismatch: a tiny 1x1 record under a real layer path.
+    tensor::LoadedBundle bad = *loaded;
+    tensor::QuantizedTensor tiny;
+    tiny.rows = 1;
+    tiny.cols = 1;
+    tiny.scales = {0.5f};
+    tiny.data = {7};
+    bad.records.qtensors[first_q] = tiny;
+    expect_rejected("shape mismatch", bad);
+  }
+  {
+    // Truncated scale array: drop the last scale and the last row of codes
+    // so the record stays self-consistent (rows-1) but no longer matches
+    // the layer.
+    tensor::LoadedBundle bad = *loaded;
+    tensor::QuantizedTensor& t = bad.records.qtensors[first_q];
+    t.rows -= 1;
+    t.scales.pop_back();
+    t.data.resize(static_cast<size_t>(t.rows * t.cols));
+    expect_rejected("truncated scale array", bad);
+  }
+  {
+    // A quantized record under a path that is not a Linear.
+    tensor::LoadedBundle bad = *loaded;
+    bad.records.qtensors["minute_embedding"] =
+        loaded->records.qtensors.at(first_q);
+    expect_rejected("non-Linear target", bad);
+  }
+  {
+    // Missing ext_table.
+    tensor::LoadedBundle bad = *loaded;
+    bad.records.halfs.erase("ext_table");
+    expect_rejected("missing ext_table", bad);
   }
 }
 

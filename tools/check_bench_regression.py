@@ -99,6 +99,24 @@ HEADLINE_METRICS = {
             "ann hnsw recall@10",
             lambda doc: {"ann_recall_at_10": doc["ann_recall_at_10"]},
         ),
+        # int8 serving vs the f32 frozen engine at serving width: a
+        # same-host ratio (both sides run the same batches on the same
+        # machine), so stable across runners with the same SIMD backend.
+        (
+            "quantized embed speedup",
+            lambda doc: {
+                "quantized_embed_speedup": doc["quantized_embed_speedup"]
+            },
+        ),
+        # Quantization error, encoded higher-is-better as the mean cosine
+        # between int8 and f32 embeddings (1.0 = exact). Dimensionless and
+        # host-independent.
+        (
+            "quantized embed error",
+            lambda doc: {
+                "quantized_embed_mean_cos": doc["quantized_embed_mean_cos"]
+            },
+        ),
     ],
 }
 

@@ -4,6 +4,9 @@
 //                    meta tag, no CRCs), byte-for-byte the legacy layout.
 //   golden_v2.sttn — a version-2 container with every record kind (f32
 //                    tensor, f64/i64/u64 arrays), written by SaveBundle.
+//   golden_q8.sttn — a version-2 container with the quantized record kinds
+//                    (int8 tensor with per-row scales, f16 tensor), pinning
+//                    the serving-snapshot payload layout.
 //
 // These files are committed to the repository and loaded bitwise by
 // tests/golden_checkpoint_test.cc. They pin the on-disk format: a future
@@ -50,7 +53,31 @@ std::vector<float> GoldenLegacyTable() {
   return v;
 }
 
+// Deterministic int8 code pattern covering the full [-127, 127] range, and
+// exactly-representable scales (multiples of 2^-7).
+std::vector<int8_t> GoldenQ8Codes() {
+  std::vector<int8_t> v(3 * 5);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int8_t>(static_cast<int>(i * 37 % 255) - 127);
+  }
+  return v;
+}
+
+std::vector<float> GoldenQ8Scales() {
+  return {0.0078125f, 0.015625f, 0.0234375f};  // (r+1) / 128
+}
+
+// Quarters survive the f32 -> f16 -> f32 round trip bitwise.
+std::vector<float> GoldenHalfTable() {
+  std::vector<float> v(8);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>(i) * 0.25f - 2.0f;
+  }
+  return v;
+}
+
 constexpr uint64_t kGoldenMetaTag = 0x60a1d2c3b4a59687ULL;
+constexpr uint64_t kGoldenQ8MetaTag = 0x51e8f00dc0ffee42ULL;
 
 bool WriteV1(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -90,12 +117,27 @@ bool WriteV2(const std::string& path) {
   return SaveBundle(path, kGoldenMetaTag, bundle).ok();
 }
 
+bool WriteQ8(const std::string& path) {
+  RecordBundle bundle;
+  start::tensor::QuantizedTensor q;
+  q.rows = 3;
+  q.cols = 5;
+  q.scales = GoldenQ8Scales();
+  q.data = GoldenQ8Codes();
+  bundle.qtensors.emplace("encoder0.attn.wq", std::move(q));
+  bundle.halfs.emplace("ext_table",
+                       Tensor::FromVector(Shape({2, 4}), GoldenHalfTable()));
+  bundle.uints["snapshot.format"] = {1};
+  return SaveBundle(path, kGoldenQ8MetaTag, bundle).ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string dir = argc > 1 ? argv[1] : "tests/fixtures";
   const std::string v1 = dir + "/golden_v1.sttn";
   const std::string v2 = dir + "/golden_v2.sttn";
+  const std::string q8 = dir + "/golden_q8.sttn";
   if (!WriteV1(v1)) {
     std::fprintf(stderr, "failed to write %s\n", v1.c_str());
     return 1;
@@ -104,6 +146,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", v2.c_str());
     return 1;
   }
-  std::printf("wrote %s and %s\n", v1.c_str(), v2.c_str());
+  if (!WriteQ8(q8)) {
+    std::fprintf(stderr, "failed to write %s\n", q8.c_str());
+    return 1;
+  }
+  std::printf("wrote %s, %s and %s\n", v1.c_str(), v2.c_str(), q8.c_str());
   return 0;
 }
