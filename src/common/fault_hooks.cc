@@ -1,0 +1,35 @@
+#include "common/fault_hooks.h"
+
+#include <chrono>
+#include <thread>
+
+namespace start::common {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const FaultHooks& FaultHooks::Default() {
+  static const FaultHooks instance;
+  return instance;
+}
+
+void FaultHooks::SleepUs(int64_t micros) const {
+  if (sleep_us) {
+    sleep_us(micros);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+int64_t FaultHooks::NowUs() const {
+  return now_us ? now_us() : SteadyNowUs();
+}
+
+}  // namespace start::common

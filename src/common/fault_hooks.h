@@ -1,0 +1,53 @@
+#ifndef START_COMMON_FAULT_HOOKS_H_
+#define START_COMMON_FAULT_HOOKS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace start::common {
+
+/// \brief Injection and clock seam for long-running concurrent subsystems
+/// (the streaming ingestion pipeline is the first consumer).
+///
+/// Production code takes a `const FaultHooks*` (nullptr means Default())
+/// and routes its sleeps, its latency clock, and one interception point per
+/// stage through it; everything defaults to the real behavior, so the
+/// production path has no test-only branches. Tests install lambdas that
+/// fail the Nth item of a stage (exercising retry/backoff), record backoff
+/// sleeps instead of sleeping (so retry tests take microseconds, not
+/// walltime), or block inside the hook on a latch (a stalled worker).
+///
+/// Hooks must be thread-safe: stages invoke them concurrently from worker
+/// threads.
+struct FaultHooks {
+  /// Invoked before stage `stage` processes the item with pipeline sequence
+  /// number `seq`. A non-OK return is treated by retryable stages as a
+  /// transient failure of that attempt; blocking inside the hook simulates
+  /// a stalled worker. Unset (the default) means no interception.
+  std::function<Status(const char* stage, int64_t seq)> before_stage;
+
+  /// Backoff sleep between retry attempts. Unset falls back to a real
+  /// std::this_thread::sleep_for.
+  std::function<void(int64_t micros)> sleep_us;
+
+  /// Monotonic microsecond clock used for stage-latency accounting. Unset
+  /// falls back to std::chrono::steady_clock.
+  std::function<int64_t()> now_us;
+
+  /// The shared no-injection instance: real sleep, real clock, no
+  /// interception.
+  static const FaultHooks& Default();
+
+  // Call-site helpers that apply the per-member fallbacks.
+  Status BeforeStage(const char* stage, int64_t seq) const {
+    return before_stage ? before_stage(stage, seq) : Status::OK();
+  }
+  void SleepUs(int64_t micros) const;
+  int64_t NowUs() const;
+};
+
+}  // namespace start::common
+
+#endif  // START_COMMON_FAULT_HOOKS_H_

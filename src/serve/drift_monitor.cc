@@ -1,0 +1,172 @@
+#include "serve/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace start::serve {
+
+namespace {
+
+/// Normalized histogram of `norms` over `bins` equal bins on [0, hist_max)
+/// plus one overflow bin at the end.
+std::vector<double> NormHistogram(const std::vector<double>& norms,
+                                  int64_t bins, double hist_max) {
+  std::vector<double> hist(static_cast<size_t>(bins + 1), 0.0);
+  if (norms.empty()) return hist;
+  const double scale = static_cast<double>(bins) / hist_max;
+  for (const double n : norms) {
+    int64_t b = n >= hist_max ? bins : static_cast<int64_t>(n * scale);
+    b = std::clamp<int64_t>(b, 0, bins);
+    hist[static_cast<size_t>(b)] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(norms.size());
+  for (double& h : hist) h *= inv;
+  return hist;
+}
+
+/// Total-variation distance between two normalized histograms.
+double TotalVariation(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  double tv = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) tv += std::abs(a[i] - b[i]);
+  return 0.5 * tv;
+}
+
+double CosineShift(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom == 0.0) return 0.0;  // degenerate mean: no direction to compare
+  return 1.0 - dot / denom;
+}
+
+}  // namespace
+
+DriftMonitor::DriftMonitor(int64_t dim, const DriftConfig& config)
+    : dim_(dim), config_(config) {
+  START_CHECK_GT(dim_, 0);
+  START_CHECK_GT(config_.window_size, 0);
+  START_CHECK_GT(config_.reference_windows, 0);
+  START_CHECK_GT(config_.norm_bins, 0);
+  window_sum_.assign(static_cast<size_t>(dim_), 0.0);
+  reference_sum_.assign(static_cast<size_t>(dim_), 0.0);
+  window_norms_.reserve(static_cast<size_t>(config_.window_size));
+  hist_max_ = config_.norm_hist_max;
+}
+
+void DriftMonitor::SetOnDrift(Callback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  START_CHECK_EQ(observed_, 0);  // install before the first Observe()
+  on_drift_ = std::move(callback);
+}
+
+void DriftMonitor::Observe(const float* embedding, int64_t dim) {
+  START_CHECK_EQ(dim, dim_);
+  DriftWindowStats completed;
+  bool window_done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    double norm2 = 0.0;
+    for (int64_t i = 0; i < dim_; ++i) {
+      const double v = static_cast<double>(embedding[i]);
+      window_sum_[static_cast<size_t>(i)] += v;
+      norm2 += v * v;
+    }
+    window_norms_.push_back(std::sqrt(norm2));
+    ++observed_;
+    if (static_cast<int64_t>(window_norms_.size()) == config_.window_size) {
+      completed = FinalizeWindowLocked();
+      window_done = true;
+    }
+  }
+  if (window_done && completed.drifted && on_drift_) on_drift_(completed);
+}
+
+DriftWindowStats DriftMonitor::FinalizeWindowLocked() {
+  DriftWindowStats stats;
+  stats.window = static_cast<int64_t>(history_.size());
+  stats.count = config_.window_size;
+  double norm_sum = 0.0;
+  for (const double n : window_norms_) norm_sum += n;
+  stats.mean_norm = norm_sum / static_cast<double>(config_.window_size);
+
+  if (!reference_frozen_) {
+    // Still accumulating the reference: fold this window in; freeze once
+    // the configured number of reference windows has completed.
+    stats.is_reference = true;
+    for (size_t i = 0; i < reference_sum_.size(); ++i) {
+      reference_sum_[i] += window_sum_[i];
+    }
+    reference_norms_.insert(reference_norms_.end(), window_norms_.begin(),
+                            window_norms_.end());
+    if (stats.window + 1 == config_.reference_windows) {
+      reference_frozen_ = true;
+      if (hist_max_ <= 0.0) {
+        const double max_norm = *std::max_element(reference_norms_.begin(),
+                                                  reference_norms_.end());
+        hist_max_ = max_norm > 0.0 ? 2.0 * max_norm : 1.0;
+      }
+      reference_hist_ =
+          NormHistogram(reference_norms_, config_.norm_bins, hist_max_);
+      const double inv =
+          1.0 / static_cast<double>(config_.reference_windows *
+                                    config_.window_size);
+      reference_mean_.resize(reference_sum_.size());
+      for (size_t i = 0; i < reference_sum_.size(); ++i) {
+        reference_mean_[i] = reference_sum_[i] * inv;
+      }
+      reference_norms_.clear();  // folded into the histogram
+    }
+  } else {
+    std::vector<double> mean(window_sum_.size());
+    const double inv = 1.0 / static_cast<double>(config_.window_size);
+    for (size_t i = 0; i < window_sum_.size(); ++i) {
+      mean[i] = window_sum_[i] * inv;
+    }
+    stats.cosine_shift = CosineShift(mean, reference_mean_);
+    stats.norm_shift = TotalVariation(
+        NormHistogram(window_norms_, config_.norm_bins, hist_max_),
+        reference_hist_);
+    stats.drifted = stats.cosine_shift > config_.cosine_shift_threshold ||
+                    stats.norm_shift > config_.norm_shift_threshold;
+    if (stats.drifted) ++drift_events_;
+  }
+
+  history_.push_back(stats);
+  std::fill(window_sum_.begin(), window_sum_.end(), 0.0);
+  window_norms_.clear();
+  return stats;
+}
+
+int64_t DriftMonitor::observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+int64_t DriftMonitor::windows_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(history_.size());
+}
+
+int64_t DriftMonitor::drift_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_events_;
+}
+
+std::vector<DriftWindowStats> DriftMonitor::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+std::vector<double> DriftMonitor::ReferenceMean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reference_mean_;
+}
+
+}  // namespace start::serve

@@ -523,7 +523,13 @@ common::Result<std::vector<Neighbor>> HnswIndex::Query(const float* query,
   for (int32_t l = EntryLevel(e); l >= 1; --l) {
     cur = GreedyStep(q, cur, &curd, l, s.get());
   }
-  const int64_t ef = std::max<int64_t>(ef_search(), k);
+  // Tombstones occupy candidate-pool slots but never surface, so under
+  // churn a fixed ef would return fewer than k live results. Inflate the
+  // pool by the live fraction (capped at 4x for adversarial churn).
+  const double live_ratio = std::max(0.25, 1.0 - DeadFraction());
+  const int64_t ef = static_cast<int64_t>(
+      std::ceil(static_cast<double>(std::max<int64_t>(ef_search(), k)) /
+                live_ratio));
   SearchLayer(q, cur, curd, /*level=*/0, ef, s.get());
   std::sort(s->result.begin(), s->result.end(), CloserThan);
   std::vector<Neighbor> out;

@@ -96,6 +96,18 @@ class HnswIndex : public IndexInterface {
     return slot_count_.load(std::memory_order_acquire);
   }
 
+  /// Fraction of slots that are tombstones, in [0, 1] (0 while empty).
+  /// Query inflates its candidate pool by the live fraction so heavy churn
+  /// does not shrink result sets; serving loops watch this to decide when a
+  /// rebuild/compaction is worth it.
+  double DeadFraction() const {
+    const int64_t slots = num_slots();
+    if (slots <= 0) return 0.0;
+    const int64_t dead = slots - size();
+    if (dead <= 0) return 0.0;  // the two atomics can be read mid-insert
+    return static_cast<double>(dead) / static_cast<double>(slots);
+  }
+
   /// Introspection for the reproducibility tests and tooling: `id`'s
   /// neighbor ids at `level` in stored order (empty when the id is unknown
   /// or the node does not reach that level), and its sampled level (-1 when

@@ -76,6 +76,31 @@ std::vector<int64_t> HmmMapMatcher::Candidates(double x, double y) const {
 }
 
 std::vector<int64_t> HmmMapMatcher::Match(const GpsTrajectory& gps) const {
+  const std::vector<int64_t> states = ViterbiStates(gps);
+  // Collapse consecutive duplicates into the road sequence.
+  std::vector<int64_t> roads;
+  for (const int64_t s : states) {
+    if (roads.empty() || roads.back() != s) roads.push_back(s);
+  }
+  return roads;
+}
+
+Trajectory HmmMapMatcher::MatchTrajectory(const GpsTrajectory& gps) const {
+  const std::vector<int64_t> states = ViterbiStates(gps);
+  Trajectory traj;
+  if (states.empty()) return traj;
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (traj.roads.empty() || traj.roads.back() != states[i]) {
+      traj.roads.push_back(states[i]);
+      traj.timestamps.push_back(gps.points[i].timestamp);
+    }
+  }
+  traj.end_time = gps.points.back().timestamp;
+  return traj;
+}
+
+std::vector<int64_t> HmmMapMatcher::ViterbiStates(
+    const GpsTrajectory& gps) const {
   const int64_t n = static_cast<int64_t>(gps.points.size());
   if (n == 0) return {};
   const double inv_two_sigma2 =
@@ -152,12 +177,7 @@ std::vector<int64_t> HmmMapMatcher::Match(const GpsTrajectory& gps) const {
       if (cur < 0) return {};  // broken chain
     }
   }
-  // Collapse consecutive duplicates into the road sequence.
-  std::vector<int64_t> roads;
-  for (const int64_t s : states) {
-    if (roads.empty() || roads.back() != s) roads.push_back(s);
-  }
-  return roads;
+  return states;
 }
 
 }  // namespace start::traj

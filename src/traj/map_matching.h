@@ -38,12 +38,22 @@ class HmmMapMatcher {
   /// Returns the recovered road sequence (empty when matching fails).
   std::vector<int64_t> Match(const GpsTrajectory& gps) const;
 
+  /// \brief Full matched trajectory: the recovered road sequence plus entry
+  /// timestamps taken from the GPS fixes (each segment's entry time is the
+  /// timestamp of the first fix Viterbi assigned to it; end_time is the
+  /// last fix). This is what the streaming ingestion pipeline feeds the
+  /// encoder — the temporal indices (minute/day-of-week) come straight from
+  /// the stream. Returns an empty trajectory when matching fails.
+  Trajectory MatchTrajectory(const GpsTrajectory& gps) const;
+
   /// Distance (meters) from a point to a segment's geometry.
   static double PointToSegmentDistance(const roadnet::RoadSegment& seg,
                                        double x, double y);
 
  private:
   std::vector<int64_t> Candidates(double x, double y) const;
+  /// Viterbi decode: the matched segment per GPS fix (empty on failure).
+  std::vector<int64_t> ViterbiStates(const GpsTrajectory& gps) const;
 
   const roadnet::RoadNetwork* net_;
   Config config_;

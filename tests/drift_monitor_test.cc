@@ -1,0 +1,212 @@
+// DriftMonitor unit tests: windowed statistics on synthetic embedding
+// streams — a stationary stream never trips the thresholds, a mean-shifted
+// stream trips the cosine statistic at a pinned window index, a
+// magnitude-shifted stream trips the norm-histogram statistic even though
+// the mean direction is unchanged, the whole history is bitwise
+// reproducible across runs, and the committed golden fixture pins the
+// numbers across refactors (regenerate with START_UPDATE_GOLDEN=1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/drift_monitor.h"
+#include "testing.h"
+
+namespace start {
+namespace {
+
+using serve::DriftConfig;
+using serve::DriftMonitor;
+using serve::DriftWindowStats;
+
+constexpr int64_t kDim = 8;
+
+/// One embedding drawn around `center` with component noise `sigma`, scaled
+/// by `scale`. The generator is the deterministic common::Rng stream, so a
+/// fixed seed pins the whole stream.
+std::vector<float> Draw(common::Rng* rng, const std::vector<float>& center,
+                        double sigma, double scale) {
+  std::vector<float> e(center.size());
+  for (size_t i = 0; i < e.size(); ++i) {
+    e[i] = static_cast<float>(
+        scale * (static_cast<double>(center[i]) + rng->Normal(0.0, sigma)));
+  }
+  return e;
+}
+
+std::vector<float> BaseCenter() {
+  std::vector<float> c(static_cast<size_t>(kDim));
+  for (int64_t i = 0; i < kDim; ++i) {
+    c[static_cast<size_t>(i)] = static_cast<float>(0.3 + 0.1 * static_cast<double>(i % 3));
+  }
+  return c;
+}
+
+/// An orthogonal-ish shifted center: flips sign of half the components.
+std::vector<float> ShiftedCenter() {
+  std::vector<float> c = BaseCenter();
+  for (size_t i = 0; i < c.size(); i += 2) c[i] = -c[i];
+  return c;
+}
+
+DriftConfig SmallConfig() {
+  DriftConfig config;
+  config.window_size = 64;
+  config.reference_windows = 2;
+  return config;
+}
+
+/// Feeds `windows` full windows drawn around `center` into the monitor.
+void Feed(DriftMonitor* monitor, common::Rng* rng,
+          const std::vector<float>& center, int64_t windows,
+          double scale = 1.0) {
+  const int64_t n = windows * monitor->config().window_size;
+  for (int64_t i = 0; i < n; ++i) {
+    const std::vector<float> e = Draw(rng, center, 0.05, scale);
+    monitor->Observe(e.data(), kDim);
+  }
+}
+
+TEST(DriftMonitorTest, StationaryStreamDoesNotDrift) {
+  DriftMonitor monitor(kDim, SmallConfig());
+  int64_t callbacks = 0;
+  monitor.SetOnDrift([&](const DriftWindowStats&) { ++callbacks; });
+  common::Rng rng(101);
+  Feed(&monitor, &rng, BaseCenter(), 8);
+  EXPECT_EQ(monitor.windows_completed(), 8);
+  EXPECT_EQ(monitor.drift_events(), 0);
+  EXPECT_EQ(callbacks, 0);
+  const auto history = monitor.History();
+  ASSERT_EQ(history.size(), 8u);
+  for (size_t w = 0; w < history.size(); ++w) {
+    EXPECT_EQ(history[w].window, static_cast<int64_t>(w));
+    EXPECT_EQ(history[w].is_reference, w < 2);
+    EXPECT_FALSE(history[w].drifted);
+    if (w >= 2) {
+      EXPECT_LT(history[w].cosine_shift, 0.01);
+      EXPECT_LT(history[w].norm_shift, 0.25);
+    }
+  }
+  EXPECT_EQ(monitor.ReferenceMean().size(), static_cast<size_t>(kDim));
+}
+
+TEST(DriftMonitorTest, MeanShiftCrossesCosineThresholdAtPinnedWindow) {
+  DriftMonitor monitor(kDim, SmallConfig());
+  std::vector<int64_t> drifted_windows;
+  monitor.SetOnDrift([&](const DriftWindowStats& s) {
+    drifted_windows.push_back(s.window);
+  });
+  common::Rng rng(202);
+  Feed(&monitor, &rng, BaseCenter(), 4);     // windows 0-1 reference, 2-3 calm
+  Feed(&monitor, &rng, ShiftedCenter(), 3);  // windows 4-6 shifted
+  EXPECT_EQ(monitor.windows_completed(), 7);
+  // The shift lands exactly at a window boundary, so window 4 is the first
+  // (and then every) drifted window.
+  ASSERT_EQ(drifted_windows, (std::vector<int64_t>{4, 5, 6}));
+  EXPECT_EQ(monitor.drift_events(), 3);
+  const auto history = monitor.History();
+  EXPECT_LT(history[3].cosine_shift, 0.01);
+  EXPECT_GT(history[4].cosine_shift, monitor.config().cosine_shift_threshold);
+}
+
+TEST(DriftMonitorTest, MagnitudeShiftCrossesNormHistogramThreshold) {
+  // Doubling every norm leaves the mean DIRECTION untouched — the cosine
+  // statistic is blind to it; the norm histogram must catch it.
+  DriftMonitor monitor(kDim, SmallConfig());
+  common::Rng rng(303);
+  Feed(&monitor, &rng, BaseCenter(), 4);
+  Feed(&monitor, &rng, BaseCenter(), 2, /*scale=*/2.0);
+  const auto history = monitor.History();
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_LT(history[4].cosine_shift, 0.01);
+  EXPECT_GT(history[4].norm_shift, monitor.config().norm_shift_threshold);
+  EXPECT_TRUE(history[4].drifted);
+  EXPECT_TRUE(history[5].drifted);
+  EXPECT_EQ(monitor.drift_events(), 2);
+}
+
+TEST(DriftMonitorTest, HistoryIsBitwiseReproducible) {
+  // Same stream, two monitors: every double in the history must be
+  // bit-identical (the monitor accumulates sequentially in double, no
+  // reduction-order freedom) — the property the pipeline's deterministic
+  // replay contract builds on.
+  const auto run = [] {
+    DriftMonitor monitor(kDim, SmallConfig());
+    common::Rng rng(404);
+    Feed(&monitor, &rng, BaseCenter(), 4);
+    Feed(&monitor, &rng, ShiftedCenter(), 2);
+    return monitor.History();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(std::memcmp(&a[w].mean_norm, &b[w].mean_norm, sizeof(double)), 0);
+    EXPECT_EQ(
+        std::memcmp(&a[w].cosine_shift, &b[w].cosine_shift, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a[w].norm_shift, &b[w].norm_shift, sizeof(double)),
+              0);
+    EXPECT_EQ(a[w].drifted, b[w].drifted);
+  }
+}
+
+TEST(DriftMonitorTest, ExplicitHistogramRangeIsHonored) {
+  DriftConfig config = SmallConfig();
+  config.norm_hist_max = 10.0;  // all norms land in the lower bins
+  DriftMonitor monitor(kDim, config);
+  common::Rng rng(505);
+  Feed(&monitor, &rng, BaseCenter(), 3);
+  EXPECT_EQ(monitor.drift_events(), 0);
+  // Norms ~1 against a [0, 10) range: scaling by 3 still stays in range and
+  // must shift mass across bins.
+  Feed(&monitor, &rng, BaseCenter(), 1, /*scale=*/3.0);
+  const auto history = monitor.History();
+  EXPECT_GT(history[3].norm_shift, config.norm_shift_threshold);
+}
+
+/// Formats one window at reduced precision — stable across compilers (full
+/// bitwise stability is only guaranteed within one binary; FP contraction
+/// may differ across toolchains).
+std::string FormatWindow(const DriftWindowStats& s) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%lld %lld %.6g %.6g %.6g %d %d",
+                static_cast<long long>(s.window),
+                static_cast<long long>(s.count), s.mean_norm, s.cosine_shift,
+                s.norm_shift, s.is_reference ? 1 : 0, s.drifted ? 1 : 0);
+  return line;
+}
+
+TEST(DriftMonitorTest, GoldenFixtureMatches) {
+  // Pins the drift numbers across refactors: the committed fixture was
+  // produced by this exact test body. Regenerate deliberately with
+  //   START_UPDATE_GOLDEN=1 ./drift_monitor_test
+  // and commit the diff.
+  DriftMonitor monitor(kDim, SmallConfig());
+  common::Rng rng(606);
+  Feed(&monitor, &rng, BaseCenter(), 4);
+  Feed(&monitor, &rng, ShiftedCenter(), 2);
+  std::string got;
+  for (const DriftWindowStats& s : monitor.History()) {
+    got += FormatWindow(s);
+    got += '\n';
+  }
+  const std::string path = testutil::FixtureDir() + "/drift_golden.txt";
+  if (std::getenv("START_UPDATE_GOLDEN") != nullptr) {
+    testutil::WriteFileBytes(path,
+                             std::vector<uint8_t>(got.begin(), got.end()));
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::vector<uint8_t> bytes = testutil::ReadFileBytes(path);
+  const std::string want(bytes.begin(), bytes.end());
+  EXPECT_EQ(got, want) << "drift statistics changed — if intentional, "
+                          "regenerate via START_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace start

@@ -300,5 +300,83 @@ TEST(HnswIndexTest, ChurnQueriesDuringInsertsAndRemoves) {
   EXPECT_EQ(index.num_slots(), base + 30 * 15);
 }
 
+TEST(HnswIndexTest, DeadFractionAccountsRemovesUnderConcurrentQueries) {
+  // Tombstone accounting must stay exact while readers run: after each
+  // writer round DeadFraction() == tombstones / slots, it never leaves
+  // [0, 1], and it is monotone in the number of removes.
+  const int64_t d = 16;
+  HnswIndex index(d);
+  common::Rng seed_rng = testutil::TestRng(3);
+  const int64_t base = 256;
+  ASSERT_TRUE(
+      index.AddBatch(SequentialIds(base), RandomRows(&seed_rng, base, d))
+          .ok());
+  EXPECT_EQ(index.DeadFraction(), 0.0);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int rdr = 0; rdr < 2; ++rdr) {
+    readers.emplace_back([&, rdr] {
+      common::Rng rng = testutil::TestRng(static_cast<uint64_t>(200 + rdr));
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<float> q(static_cast<size_t>(d));
+        for (auto& v : q) v = static_cast<float>(rng.Normal());
+        ASSERT_TRUE(index.Query(q, 10).ok());
+        const double dead = index.DeadFraction();  // racy read: only bounds
+        EXPECT_GE(dead, 0.0);
+        EXPECT_LE(dead, 1.0);
+      }
+    });
+  }
+  double prev = 0.0;
+  for (int64_t removed = 0; removed < base / 2; ++removed) {
+    ASSERT_TRUE(index.Remove(removed * 2).ok());
+    const double dead = index.DeadFraction();
+    EXPECT_DOUBLE_EQ(dead, static_cast<double>(removed + 1) /
+                               static_cast<double>(base));
+    EXPECT_GE(dead, prev);
+    prev = dead;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(index.size(), base - base / 2);
+  EXPECT_EQ(index.num_slots(), base);
+  EXPECT_DOUBLE_EQ(index.DeadFraction(), 0.5);
+}
+
+TEST(HnswIndexTest, HeavyChurnStillReturnsKLiveResults) {
+  // The latent churn gap: with most slots tombstoned, a fixed candidate
+  // pool of ef entries is mostly dead and Query would come back short.
+  // The live-ratio ef inflation must keep full-k result sets (and recall)
+  // through heavy churn.
+  const int64_t n = 400, dim = 16, k = 10;
+  common::Rng rng = testutil::TestRng(7);
+  const std::vector<float> rows = RandomRows(&rng, n, dim);
+  HnswConfig config;
+  config.ef_search = 16;  // tight pool: without inflation churn starves it
+  HnswIndex hnsw(dim, config);
+  EmbeddingIndex exact(dim);
+  ASSERT_TRUE(hnsw.AddBatch(SequentialIds(n), rows).ok());
+  ASSERT_TRUE(exact.AddBatch(SequentialIds(n), rows).ok());
+  // Tombstone 70% of the corpus in both indexes.
+  for (int64_t id = 0; id < n; ++id) {
+    if (id % 10 < 7) {
+      ASSERT_TRUE(hnsw.Remove(id).ok());
+      ASSERT_TRUE(exact.Remove(id).ok());
+    }
+  }
+  ASSERT_GT(hnsw.DeadFraction(), 0.65);
+  const int64_t nq = 50;
+  const std::vector<float> queries = RandomRows(&rng, nq, dim);
+  for (int64_t q = 0; q < nq; ++q) {
+    const auto got = hnsw.Query(queries.data() + q * dim, dim, k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->size(), static_cast<size_t>(k))
+        << "churn starved the candidate pool at query " << q;
+    for (const Neighbor& nb : *got) EXPECT_EQ(nb.id % 10 >= 7, true);
+  }
+  EXPECT_GE(RecallAtK(hnsw, exact, queries, nq, dim, k), 0.9);
+}
+
 }  // namespace
 }  // namespace start

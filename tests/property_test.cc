@@ -25,23 +25,7 @@
 namespace start {
 namespace {
 
-/// Runs `fn` under every OpenMP thread-count regime the build supports (1
-/// thread and the ambient default) — the strided-kernel properties below
-/// must hold, bitwise, regardless of how many threads the kernels fork. In
-/// OpenMP-less builds (e.g. the TSan CI job) this is a single serial run.
-template <typename Fn>
-void ForEachOmpRegime(Fn fn) {
-#ifdef _OPENMP
-  const int ambient = omp_get_max_threads();
-  omp_set_num_threads(1);
-  fn("omp_threads=1");
-  omp_set_num_threads(ambient > 1 ? ambient : 2);
-  fn("omp_threads=default");
-  omp_set_num_threads(ambient);
-#else
-  fn("openmp_off");
-#endif
-}
+using testutil::ForEachOmpRegime;
 
 // ---------------------------------------------------------------------------
 // Augmentation invariants over random seeds (Sec. III-C2).
