@@ -338,12 +338,16 @@ SimilarityBenchData MakeSimilarityData(const CityWorld& world,
   common::Rng rng(seed);
   data::DetourConfig detour_cfg;
   detour_cfg.select_proportion = select_proportion;
+  // One CH build amortised over every query + negative of the protocol
+  // (Yen's per-call Dijkstra cascade dominated this function at Nq + Nneg
+  // scale).
+  data::DetourGenerator detours(world.traffic.get(), detour_cfg);
   const auto& test = world.dataset->test();
   START_CHECK(!test.empty());
   // Queries: originals whose detour exists; ground truth = their detour.
   for (const auto& t : test) {
     if (static_cast<int64_t>(out.queries.size()) >= num_queries) break;
-    const auto detour = data::MakeDetour(*world.traffic, t, detour_cfg, &rng);
+    const auto detour = detours.Generate(t, &rng);
     if (!detour.has_value()) continue;
     out.gt_index.push_back(static_cast<int64_t>(out.database.size()));
     out.database.push_back(*detour);
@@ -355,7 +359,7 @@ SimilarityBenchData MakeSimilarityData(const CityWorld& world,
              static_cast<int64_t>(out.queries.size()) + num_negatives &&
          cursor < 4 * test.size()) {
     const auto& t = test[cursor++ % test.size()];
-    const auto detour = data::MakeDetour(*world.traffic, t, detour_cfg, &rng);
+    const auto detour = detours.Generate(t, &rng);
     if (detour.has_value()) {
       out.database.push_back(*detour);
     } else {

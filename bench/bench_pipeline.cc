@@ -29,6 +29,7 @@
 #include "core/start_model.h"
 #include "data/batch.h"
 #include "data/dataset.h"
+#include "data/detour.h"
 #include "data/loader.h"
 #include "data/span_mask.h"
 #include "roadnet/synthetic_city.h"
@@ -327,6 +328,36 @@ int main() {
       PlanEfficiency(lengths,
                      start::data::MakeShuffledPlan(lengths, eff_config).steps);
 
+  // 4. Detour augmentation: the seed's per-call Yen search (a Dijkstra
+  // cascade per trajectory) vs the CH-backed DetourGenerator, identical
+  // selection logic and rng stream on the identical corpus. The generator's
+  // one-time CSR + CH build is timed separately — it is amortized over every
+  // augmentation call of a training run.
+  const start::data::DetourConfig detour_cfg;
+  const auto time_detours =
+      [&](const std::function<std::optional<start::traj::Trajectory>(
+              const start::traj::Trajectory&, Rng*)>& make) {
+        Rng detour_rng(31);
+        int64_t made = 0;
+        Stopwatch timer;
+        for (const auto& t : w.corpus) {
+          if (make(t, &detour_rng).has_value()) ++made;
+        }
+        return std::make_pair(timer.ElapsedSeconds(), made);
+      };
+  const auto [yen_s, yen_made] = time_detours([&](const auto& t, Rng* r) {
+    return start::data::MakeDetour(*w.traffic, t, detour_cfg, r);
+  });
+  Stopwatch detour_watch;
+  start::data::DetourGenerator detours(w.traffic.get(), detour_cfg);
+  const double detour_build_s = detour_watch.ElapsedSeconds();
+  const auto [ch_s, ch_made] = time_detours(
+      [&](const auto& t, Rng* r) { return detours.Generate(t, r); });
+  const double detour_yen_per_sec =
+      static_cast<double>(w.corpus.size()) / yen_s;
+  const double detour_ch_per_sec = static_cast<double>(w.corpus.size()) / ch_s;
+  const double detour_speedup = yen_s / ch_s;
+
   const double speedup_e2e = e2e_async4 / e2e_seed;
   const double speedup_prod = prod_sps[4] / prod_seed;
   const unsigned cores = std::thread::hardware_concurrency();
@@ -340,6 +371,10 @@ int main() {
               speedup_prod);
   std::printf("padding efficiency   : shuffled %.3f -> bucketed %.3f\n",
               eff_shuffled, eff_bucketed);
+  std::printf("detour augmentation  : yen %.1f/s (%ld made) | ch %.1f/s "
+              "(%ld made, build %.0f ms) — %.1fx\n",
+              detour_yen_per_sec, yen_made, detour_ch_per_sec, ch_made,
+              detour_build_s * 1e3, detour_speedup);
 
   std::FILE* json = std::fopen("BENCH_pipeline.json", "w");
   if (json == nullptr) {
@@ -358,11 +393,14 @@ int main() {
                "  \"producer_speedup_4workers\": %.3f,\n"
                "  \"padding_efficiency\": {\"shuffled\": %.4f, \"bucketed\": "
                "%.4f},\n"
+               "  \"detour\": {\"yen_per_sec\": %.2f, \"ch_per_sec\": %.2f, "
+               "\"ch_build_seconds\": %.3f, \"ch_speedup\": %.3f},\n"
                "  \"checksum\": %.6f\n"
                "}\n",
                cores, e2e_seed, e2e_sync, e2e_async4, speedup_e2e, prod_seed,
                prod_sps[0], prod_sps[1], prod_sps[2], prod_sps[4],
-               speedup_prod, eff_shuffled, eff_bucketed, sink);
+               speedup_prod, eff_shuffled, eff_bucketed, detour_yen_per_sec,
+               detour_ch_per_sec, detour_build_s, detour_speedup, sink);
   std::fclose(json);
   std::printf("wrote BENCH_pipeline.json\n");
 
@@ -378,6 +416,11 @@ int main() {
   if (e2e_sync < 0.85 * e2e_seed) {
     std::fprintf(stderr, "FAIL: pipeline sync %.2f steps/s regresses the "
                  "seed path %.2f\n", e2e_sync, e2e_seed);
+    return 1;
+  }
+  if (detour_speedup < 1.5) {
+    std::fprintf(stderr, "FAIL: CH detour generation %.2fx not at least "
+                 "1.5x over per-call Yen\n", detour_speedup);
     return 1;
   }
   // 2. The 2x claim: the 4-worker pipeline must at least double the

@@ -105,11 +105,12 @@ int main(int argc, char** argv) {
   // top-k alternative whose travel time differs by more than t_d.
   std::printf("building detour queries...\n");
   common::Rng detour_rng(28);
+  data::DetourGenerator detours(&traffic, {});
   std::vector<traj::Trajectory> queries, database;
   std::vector<int64_t> gt;
   for (const auto& t : dataset.test()) {
     if (queries.size() >= 25) break;
-    const auto detour = data::MakeDetour(traffic, t, {}, &detour_rng);
+    const auto detour = detours.Generate(t, &detour_rng);
     if (!detour.has_value()) continue;
     gt.push_back(static_cast<int64_t>(database.size()));
     database.push_back(*detour);

@@ -14,10 +14,10 @@ namespace {
 /// return to `prev`, 1 to nodes adjacent to `prev`, 1/q otherwise.
 int64_t NextStep(const roadnet::RoadNetwork& net, int64_t prev, int64_t cur,
                  double p, double q, common::Rng* rng) {
-  const auto neighbors = net.OutNeighbors(cur);
+  const auto neighbors = net.OutSpan(cur);
   if (neighbors.empty()) return -1;
-  std::vector<double> weights(neighbors.size());
-  for (size_t i = 0; i < neighbors.size(); ++i) {
+  std::vector<double> weights(static_cast<size_t>(neighbors.size()));
+  for (int64_t i = 0; i < neighbors.size(); ++i) {
     const int64_t nxt = neighbors[i];
     if (nxt == prev) {
       weights[i] = 1.0 / p;

@@ -232,10 +232,9 @@ double T2Vec::Pretrain(const std::vector<traj::Trajectory>& corpus,
           const size_t idx = static_cast<size_t>(s * padded.max_len + i);
           const int64_t road = padded.ids[idx];
           hard[idx] = road;
-          const auto neighbors = net_->OutNeighbors(road);
+          const auto neighbors = net_->OutSpan(road);
           if (!neighbors.empty()) {
-            soft[idx] = neighbors[static_cast<size_t>(rng.UniformInt(
-                static_cast<int64_t>(neighbors.size())))];
+            soft[idx] = neighbors[rng.UniformInt(neighbors.size())];
           }
         }
       }

@@ -93,13 +93,15 @@ TpeGat::TpeGat(const roadnet::RoadNetwork* net,
   edge_src_.reserve(src.size() + static_cast<size_t>(v));
   edge_dst_.reserve(src.size() + static_cast<size_t>(v));
   edge_p_.reserve(src.size() + static_cast<size_t>(v));
+  // Edge-aligned transfer probabilities in one merge pass (identical values
+  // to a per-edge Prob() lookup, without the per-edge binary search).
+  const std::vector<double> probs =
+      transfer != nullptr ? transfer->EdgeProbabilities(*net)
+                          : std::vector<double>(src.size(), 0.0);
   for (size_t i = 0; i < src.size(); ++i) {
     edge_src_.push_back(src[i]);
     edge_dst_.push_back(dst[i]);
-    edge_p_.push_back(
-        transfer != nullptr
-            ? static_cast<float>(transfer->Prob(src[i], dst[i]))
-            : 0.0f);
+    edge_p_.push_back(static_cast<float>(probs[i]));
   }
   for (int64_t i = 0; i < v; ++i) {
     edge_src_.push_back(i);

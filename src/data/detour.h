@@ -1,9 +1,12 @@
 #ifndef START_DATA_DETOUR_H_
 #define START_DATA_DETOUR_H_
 
+#include <memory>
 #include <optional>
 
 #include "common/rng.h"
+#include "roadnet/ch_engine.h"
+#include "roadnet/csr_graph.h"
 #include "roadnet/road_network.h"
 #include "traj/traffic_model.h"
 #include "traj/trajectory.h"
@@ -27,6 +30,41 @@ std::optional<traj::Trajectory> MakeDetour(const traj::TrafficModel& traffic,
                                            const traj::Trajectory& t,
                                            const DetourConfig& config,
                                            common::Rng* rng);
+
+/// \brief Batched detour generator backed by the contraction-hierarchy
+/// engine.
+///
+/// MakeDetour() runs Yen's algorithm, which re-runs a full Dijkstra per spur
+/// node per candidate — fine for a handful of queries, quadratic pain for the
+/// Sec. IV-D4 protocol sizes (Nq + Nneg alternatives over the same city).
+/// This class builds the free-flow CsrGraph + ChEngine once and answers each
+/// query with one bidirectional upward search (ChEngine::AlternativeRoutes),
+/// reusing one QueryContext so repeated calls allocate nothing.
+///
+/// The sub-trajectory selection, time-threshold test and splice/re-time logic
+/// are identical to MakeDetour; only the candidate search differs (via-node
+/// alternatives instead of Yen's top-k), so outputs satisfy the same
+/// contract: a connected trajectory with the original endpoints whose section
+/// travel time deviates by more than `time_threshold`. Not thread-safe; use
+/// one instance per thread.
+class DetourGenerator {
+ public:
+  DetourGenerator(const traj::TrafficModel* traffic,
+                  const DetourConfig& config);
+
+  /// CH-accelerated counterpart of MakeDetour().
+  std::optional<traj::Trajectory> Generate(const traj::Trajectory& t,
+                                           common::Rng* rng);
+
+  const roadnet::ChEngine& ch() const { return *ch_; }
+
+ private:
+  const traj::TrafficModel* traffic_;
+  DetourConfig config_;
+  std::unique_ptr<roadnet::CsrGraph> graph_;  ///< Free-flow metric.
+  std::unique_ptr<roadnet::ChEngine> ch_;
+  roadnet::ChEngine::QueryContext ctx_;
+};
 
 }  // namespace start::data
 

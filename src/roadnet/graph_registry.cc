@@ -1,0 +1,88 @@
+#include "roadnet/graph_registry.h"
+
+#include <mutex>
+#include <utility>
+
+namespace start::roadnet {
+
+common::Status GraphRegistry::Register(
+    std::string city, std::shared_ptr<const RoadNetwork> network,
+    const ChOptions& options) {
+  if (city.empty()) {
+    return common::Status::InvalidArgument("city id must be non-empty");
+  }
+  if (network == nullptr || !network->finalized()) {
+    return common::Status::FailedPrecondition(
+        "network must be finalized before registration: " + city);
+  }
+  {
+    // Fail fast on duplicates before paying for preprocessing. The
+    // authoritative check happens again under the exclusive lock below.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (cities_.find(city) != cities_.end()) {
+      return common::Status::AlreadyExists("city already registered: " + city);
+    }
+  }
+  auto entry = std::make_shared<CityGraph>();
+  entry->city = city;
+  entry->network = network;
+  entry->graph = std::make_shared<const CsrGraph>(
+      CsrGraph::FromNetworkFreeFlow(*network));
+  entry->ch = std::make_shared<const ChEngine>(
+      ChEngine::Build(entry->graph.get(), options));
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto [it, inserted] = cities_.emplace(std::move(city), entry);
+  if (!inserted) {
+    return common::Status::AlreadyExists("city already registered: " +
+                                         it->first);
+  }
+  return common::Status::OK();
+}
+
+common::Status GraphRegistry::RegisterPrebuilt(CityGraph entry) {
+  if (entry.city.empty()) {
+    return common::Status::InvalidArgument("city id must be non-empty");
+  }
+  if (entry.graph == nullptr || entry.ch == nullptr) {
+    return common::Status::InvalidArgument(
+        "prebuilt city graph needs both a CsrGraph and a ChEngine: " +
+        entry.city);
+  }
+  if (&entry.ch->graph() != entry.graph.get()) {
+    return common::Status::FailedPrecondition(
+        "ChEngine was not built over the registered CsrGraph: " + entry.city);
+  }
+  std::string city = entry.city;
+  auto shared = std::make_shared<const CityGraph>(std::move(entry));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto [it, inserted] = cities_.emplace(std::move(city), shared);
+  if (!inserted) {
+    return common::Status::AlreadyExists("city already registered: " +
+                                         it->first);
+  }
+  return common::Status::OK();
+}
+
+std::shared_ptr<const CityGraph> GraphRegistry::Get(
+    std::string_view city) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = cities_.find(city);
+  if (it == cities_.end()) return nullptr;
+  return it->second;
+}
+
+std::vector<std::string> GraphRegistry::Cities() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(cities_.size());
+  for (const auto& [city, entry] : cities_) out.push_back(city);
+  return out;
+}
+
+int64_t GraphRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int64_t>(cities_.size());
+}
+
+}  // namespace start::roadnet

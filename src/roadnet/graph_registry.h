@@ -1,0 +1,74 @@
+#ifndef START_ROADNET_GRAPH_REGISTRY_H_
+#define START_ROADNET_GRAPH_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "roadnet/ch_engine.h"
+#include "roadnet/csr_graph.h"
+#include "roadnet/road_network.h"
+
+namespace start::roadnet {
+
+/// \brief One city's frozen graph plane: the source network, its CSR
+/// lowering under the free-flow metric, and the contraction hierarchy built
+/// over it. All three are immutable; the struct is shared read-only across
+/// threads via shared_ptr snapshots handed out by GraphRegistry.
+struct CityGraph {
+  std::string city;
+  std::shared_ptr<const RoadNetwork> network;
+  std::shared_ptr<const CsrGraph> graph;
+  std::shared_ptr<const ChEngine> ch;
+};
+
+/// \brief Thread-safe multi-city registry: city id -> CityGraph.
+///
+/// Readers (serving, streaming) call Get() under a shared lock and keep the
+/// returned snapshot for as long as they need it — registration of further
+/// cities never invalidates a handed-out snapshot. Expensive preprocessing
+/// (CSR lowering + CH build) happens *outside* the lock, so registering a
+/// new city does not stall concurrent readers.
+class GraphRegistry {
+ public:
+  GraphRegistry() = default;
+  GraphRegistry(const GraphRegistry&) = delete;
+  GraphRegistry& operator=(const GraphRegistry&) = delete;
+
+  /// Lowers `network` (must be finalized) under the free-flow metric, builds
+  /// its contraction hierarchy and registers the bundle under `city`.
+  /// kAlreadyExists if the city id is taken, kFailedPrecondition if the
+  /// network is not finalized.
+  common::Status Register(std::string city,
+                          std::shared_ptr<const RoadNetwork> network,
+                          const ChOptions& options = {});
+
+  /// Registers a pre-assembled bundle (e.g. with a ChEngine loaded from a
+  /// serialized artifact). `entry.city` must be non-empty and graph/ch
+  /// non-null with ch built over *entry.graph.
+  common::Status RegisterPrebuilt(CityGraph entry);
+
+  /// Snapshot of a city's graph plane; nullptr when unknown. The snapshot
+  /// stays valid regardless of later registrations.
+  std::shared_ptr<const CityGraph> Get(std::string_view city) const;
+
+  bool Contains(std::string_view city) const { return Get(city) != nullptr; }
+
+  /// Registered city ids, sorted.
+  std::vector<std::string> Cities() const;
+
+  int64_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<const CityGraph>, std::less<>>
+      cities_;
+};
+
+}  // namespace start::roadnet
+
+#endif  // START_ROADNET_GRAPH_REGISTRY_H_

@@ -117,6 +117,35 @@ std::vector<int64_t> RoadNetwork::InNeighbors(int64_t v) const {
           in_sources_.begin() + in_offsets_[static_cast<size_t>(v + 1)]};
 }
 
+IdSpan RoadNetwork::OutSpan(int64_t v) const {
+  START_CHECK(finalized_);
+  CheckId(v);
+  const int64_t begin = out_offsets_[static_cast<size_t>(v)];
+  return {out_targets_.data() + begin,
+          out_offsets_[static_cast<size_t>(v + 1)] - begin};
+}
+
+IdSpan RoadNetwork::InSpan(int64_t v) const {
+  START_CHECK(finalized_);
+  CheckId(v);
+  const int64_t begin = in_offsets_[static_cast<size_t>(v)];
+  return {in_sources_.data() + begin,
+          in_offsets_[static_cast<size_t>(v + 1)] - begin};
+}
+
+int64_t RoadNetwork::EdgeIndexOf(int64_t from, int64_t to) const {
+  START_CHECK(finalized_);
+  CheckId(from);
+  CheckId(to);
+  const auto begin =
+      out_targets_.begin() + out_offsets_[static_cast<size_t>(from)];
+  const auto end =
+      out_targets_.begin() + out_offsets_[static_cast<size_t>(from + 1)];
+  const auto it = std::lower_bound(begin, end, to);
+  if (it == end || *it != to) return -1;
+  return it - out_targets_.begin();
+}
+
 int64_t RoadNetwork::OutDegree(int64_t v) const {
   START_CHECK(finalized_);
   CheckId(v);
@@ -235,6 +264,30 @@ double TransferProbability::Prob(int64_t from, int64_t to) const {
   const size_t idx = static_cast<size_t>(it - pair_keys_.begin());
   return static_cast<double>(pair_counts_[idx]) /
          static_cast<double>(visits);
+}
+
+std::vector<double> TransferProbability::EdgeProbabilities(
+    const RoadNetwork& net) const {
+  START_CHECK(net.finalized());
+  START_CHECK_EQ(net.num_segments(), num_segments());
+  const auto& src = net.edge_sources();
+  const auto& dst = net.edge_targets();
+  std::vector<double> probs(src.size(), 0.0);
+  // Both the flat edge list and pair_keys_ ascend by (from, to): advance a
+  // single cursor into pair_keys_ instead of binary-searching per edge.
+  size_t cursor = 0;
+  for (size_t i = 0; i < src.size(); ++i) {
+    const std::pair<int64_t, int64_t> key(src[i], dst[i]);
+    while (cursor < pair_keys_.size() && pair_keys_[cursor] < key) ++cursor;
+    if (cursor < pair_keys_.size() && pair_keys_[cursor] == key) {
+      const int64_t visits = visit_counts_[static_cast<size_t>(key.first)];
+      if (visits > 0) {
+        probs[i] = static_cast<double>(pair_counts_[cursor]) /
+                   static_cast<double>(visits);
+      }
+    }
+  }
+  return probs;
 }
 
 int64_t TransferProbability::VisitCount(int64_t road) const {

@@ -39,6 +39,20 @@ struct RoadSegment {
   double MidY() const { return 0.5 * (y0 + y1); }
 };
 
+/// \brief Lightweight read-only view over one CSR adjacency row: the
+/// allocation-free counterpart of OutNeighbors()/InNeighbors() for hot
+/// loops (Dijkstra relaxation, HMM transition search, GAT edge builds).
+struct IdSpan {
+  const int64_t* ptr = nullptr;
+  int64_t count = 0;
+
+  const int64_t* begin() const { return ptr; }
+  const int64_t* end() const { return ptr + count; }
+  int64_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  int64_t operator[](int64_t i) const { return ptr[i]; }
+};
+
 /// \brief Directed road-network graph G = (V, E, F_V, A) of Definition 1.
 ///
 /// Vertices are road segments; a directed edge (u, v) means a vehicle can
@@ -68,9 +82,20 @@ class RoadNetwork {
   const RoadSegment& segment(int64_t id) const;
 
   /// Out-neighbours of `v` (segments reachable as the next hop).
+  /// Copies; prefer OutSpan() in hot loops.
   std::vector<int64_t> OutNeighbors(int64_t v) const;
-  /// In-neighbours of `v`.
+  /// In-neighbours of `v`. Copies; prefer InSpan() in hot loops.
   std::vector<int64_t> InNeighbors(int64_t v) const;
+
+  /// Zero-copy views over the frozen CSR adjacency (targets sorted
+  /// ascending per source). Valid until the network is destroyed.
+  IdSpan OutSpan(int64_t v) const;
+  IdSpan InSpan(int64_t v) const;
+
+  /// \brief Index of edge (from, to) in the flat edge enumeration
+  /// (edge_sources()/edge_targets() order, which equals out-CSR order), or
+  /// -1 when the edge does not exist. O(log out-degree).
+  int64_t EdgeIndexOf(int64_t from, int64_t to) const;
 
   int64_t OutDegree(int64_t v) const;
   int64_t InDegree(int64_t v) const;
@@ -123,6 +148,14 @@ class TransferProbability {
 
   /// p(from -> to); 0 when the pair or `from` was never observed.
   double Prob(int64_t from, int64_t to) const;
+
+  /// \brief Transfer probability of every edge of `net`'s flat edge list,
+  /// aligned with edge_sources()/edge_targets().
+  ///
+  /// One linear merge over the two (src, dst)-sorted sequences instead of a
+  /// binary search per edge — the fast path for the TPE-GAT edge build.
+  /// Values are identical to calling Prob() per edge.
+  std::vector<double> EdgeProbabilities(const RoadNetwork& net) const;
 
   /// Total number of times `road` appears in the corpus.
   int64_t VisitCount(int64_t road) const;

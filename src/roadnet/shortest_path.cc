@@ -40,7 +40,7 @@ std::optional<PathResult> DijkstraImpl(
     pq.pop();
     if (d > dist[static_cast<size_t>(u)]) continue;
     if (u == dst) break;
-    for (const int64_t nb : net.OutNeighbors(u)) {
+    for (const int64_t nb : net.OutSpan(u)) {
       if (banned_vertices != nullptr && banned_vertices->count(nb)) continue;
       if (banned_edges != nullptr && banned_edges->count({u, nb})) continue;
       const double wnb = weight(nb);
@@ -79,6 +79,73 @@ std::optional<PathResult> ShortestPath(const RoadNetwork& net, int64_t src,
     return PathResult{{src}, weight(src)};
   }
   return DijkstraImpl(net, src, dst, weight, nullptr, nullptr);
+}
+
+DijkstraRouter::DijkstraRouter(const RoadNetwork* net) : net_(net) {
+  START_CHECK(net != nullptr);
+  START_CHECK(net->finalized());
+  const size_t v = static_cast<size_t>(net->num_segments());
+  dist_.assign(v, kInf);
+  prev_.assign(v, -1);
+  stamp_.assign(v, 0);
+}
+
+std::optional<PathResult> DijkstraRouter::Route(int64_t src, int64_t dst,
+                                                const SegmentWeightFn& weight) {
+  const int64_t v = net_->num_segments();
+  START_CHECK(src >= 0 && src < v);
+  START_CHECK(dst >= 0 && dst < v);
+  if (src == dst) return PathResult{{src}, weight(src)};
+  ++cur_stamp_;
+  if (cur_stamp_ == 0) {  // stamp wraparound: hard-clear once per 2^32 queries
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    cur_stamp_ = 1;
+  }
+  heap_.clear();
+  // Lazily (re)initialize a label the first time this query touches it.
+  auto label = [&](int64_t node) -> double& {
+    if (stamp_[static_cast<size_t>(node)] != cur_stamp_) {
+      stamp_[static_cast<size_t>(node)] = cur_stamp_;
+      dist_[static_cast<size_t>(node)] = kInf;
+      prev_[static_cast<size_t>(node)] = -1;
+    }
+    return dist_[static_cast<size_t>(node)];
+  };
+  using Item = std::pair<double, int64_t>;
+  const double w0 = weight(src);
+  START_CHECK_GT(w0, 0.0);
+  label(src) = w0;
+  heap_.emplace_back(w0, src);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Item>());
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (d > label(u)) continue;
+    if (u == dst) break;
+    for (const int64_t nb : net_->OutSpan(u)) {
+      const double wnb = weight(nb);
+      START_CHECK_GT(wnb, 0.0);
+      const double nd = d + wnb;
+      double& dnb = label(nb);
+      if (nd < dnb) {
+        dnb = nd;
+        prev_[static_cast<size_t>(nb)] = u;
+        heap_.emplace_back(nd, nb);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<Item>());
+      }
+    }
+  }
+  if (stamp_[static_cast<size_t>(dst)] != cur_stamp_ ||
+      dist_[static_cast<size_t>(dst)] == kInf) {
+    return std::nullopt;
+  }
+  PathResult result;
+  result.cost = dist_[static_cast<size_t>(dst)];
+  for (int64_t cur = dst; cur != -1; cur = prev_[static_cast<size_t>(cur)]) {
+    result.path.push_back(cur);
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
 }
 
 std::vector<PathResult> KShortestPaths(const RoadNetwork& net, int64_t src,
@@ -141,6 +208,14 @@ std::vector<PathResult> KShortestPaths(const RoadNetwork& net, int64_t src,
     }
     if (!appended) break;
   }
+  // Pin the documented ordering contract: (cost, lexicographic path). Yen
+  // discovers paths in near-cost order but may emit equal-cost paths in a
+  // discovery-dependent order; the final sort makes the output canonical.
+  std::sort(found.begin(), found.end(),
+            [](const PathResult& a, const PathResult& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.path < b.path;
+            });
   return found;
 }
 

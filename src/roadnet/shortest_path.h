@@ -1,8 +1,10 @@
 #ifndef START_ROADNET_SHORTEST_PATH_H_
 #define START_ROADNET_SHORTEST_PATH_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "roadnet/road_network.h"
@@ -26,10 +28,42 @@ std::optional<PathResult> ShortestPath(const RoadNetwork& net, int64_t src,
                                        int64_t dst,
                                        const SegmentWeightFn& weight);
 
+/// \brief Repeated-query Dijkstra over a fixed network with per-call weights:
+/// the router for metrics that change between queries (e.g. the trip
+/// generator's per-driver personalized costs), where contraction-hierarchy
+/// preprocessing cannot help.
+///
+/// Distance/parent labels are timestamp-versioned, so queries after the
+/// first reuse the workspace instead of allocating two O(|V|) arrays per
+/// call. Route() is bitwise-identical to ShortestPath(): same heap order
+/// (ties on (dist, id)), same strict-< relaxation, same neighbor iteration
+/// order (CSR spans preserve the sorted-neighbor order OutNeighbors copies).
+/// Not thread-safe; one instance per thread.
+class DijkstraRouter {
+ public:
+  /// `net` must be finalized and outlive the router.
+  explicit DijkstraRouter(const RoadNetwork* net);
+
+  /// Equivalent to ShortestPath(net, src, dst, weight).
+  std::optional<PathResult> Route(int64_t src, int64_t dst,
+                                  const SegmentWeightFn& weight);
+
+ private:
+  const RoadNetwork* net_;
+  std::vector<double> dist_;
+  std::vector<int64_t> prev_;
+  std::vector<uint32_t> stamp_;
+  uint32_t cur_stamp_ = 0;
+  std::vector<std::pair<double, int64_t>> heap_;
+};
+
 /// \brief Yen's algorithm for the k shortest loopless paths [30], used by the
 /// detour ground-truth generator of Sec. IV-D4.
 ///
-/// Returns up to k paths sorted by cost (the first is the shortest path).
+/// Ordering contract: the returned paths are sorted by (cost, lexicographic
+/// node sequence) — equal-cost paths always appear in the same order, on any
+/// platform, so corpora derived from the result are reproducible. The first
+/// entry is a shortest path.
 std::vector<PathResult> KShortestPaths(const RoadNetwork& net, int64_t src,
                                        int64_t dst, int64_t k,
                                        const SegmentWeightFn& weight);

@@ -57,14 +57,74 @@ HmmMapMatcher::HmmMapMatcher(const roadnet::RoadNetwork* net,
     : net_(net), config_(config) {
   START_CHECK(net != nullptr);
   START_CHECK(net->finalized());
+  START_CHECK_GT(config_.candidate_radius_m, 0.0);
+  // Build the candidate grid over the network's bounding box.
+  const int64_t v = net->num_segments();
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  for (int64_t i = 0; i < v; ++i) {
+    const auto& s = net->segment(i);
+    const double sx0 = std::min(s.x0, s.x1), sx1 = std::max(s.x0, s.x1);
+    const double sy0 = std::min(s.y0, s.y1), sy1 = std::max(s.y0, s.y1);
+    if (i == 0) {
+      min_x = sx0, max_x = sx1, min_y = sy0, max_y = sy1;
+    } else {
+      min_x = std::min(min_x, sx0), max_x = std::max(max_x, sx1);
+      min_y = std::min(min_y, sy0), max_y = std::max(max_y, sy1);
+    }
+  }
+  cell_size_m_ = 2.0 * config_.candidate_radius_m;
+  min_x_ = min_x;
+  min_y_ = min_y;
+  constexpr int64_t kMaxGridDim = 1024;  // bounds memory on huge extents
+  grid_w_ = std::clamp<int64_t>(
+      static_cast<int64_t>((max_x - min_x) / cell_size_m_) + 1, 1, kMaxGridDim);
+  grid_h_ = std::clamp<int64_t>(
+      static_cast<int64_t>((max_y - min_y) / cell_size_m_) + 1, 1, kMaxGridDim);
+  cells_.assign(static_cast<size_t>(grid_w_ * grid_h_), {});
+  auto clamp_cell = [](int64_t c, int64_t n) {
+    return std::clamp<int64_t>(c, 0, n - 1);
+  };
+  for (int64_t i = 0; i < v; ++i) {
+    const auto& s = net->segment(i);
+    const double r = config_.candidate_radius_m;
+    const int64_t cx0 = clamp_cell(
+        static_cast<int64_t>((std::min(s.x0, s.x1) - r - min_x_) / cell_size_m_),
+        grid_w_);
+    const int64_t cx1 = clamp_cell(
+        static_cast<int64_t>((std::max(s.x0, s.x1) + r - min_x_) / cell_size_m_),
+        grid_w_);
+    const int64_t cy0 = clamp_cell(
+        static_cast<int64_t>((std::min(s.y0, s.y1) - r - min_y_) / cell_size_m_),
+        grid_h_);
+    const int64_t cy1 = clamp_cell(
+        static_cast<int64_t>((std::max(s.y0, s.y1) + r - min_y_) / cell_size_m_),
+        grid_h_);
+    for (int64_t cy = cy0; cy <= cy1; ++cy) {
+      for (int64_t cx = cx0; cx <= cx1; ++cx) {
+        cells_[static_cast<size_t>(cy * grid_w_ + cx)].push_back(
+            static_cast<int32_t>(i));
+      }
+    }
+  }
+}
+
+int64_t HmmMapMatcher::CellOf(double x, double y) const {
+  const int64_t cx = std::clamp<int64_t>(
+      static_cast<int64_t>((x - min_x_) / cell_size_m_), 0, grid_w_ - 1);
+  const int64_t cy = std::clamp<int64_t>(
+      static_cast<int64_t>((y - min_y_) / cell_size_m_), 0, grid_h_ - 1);
+  return cy * grid_w_ + cx;
 }
 
 std::vector<int64_t> HmmMapMatcher::Candidates(double x, double y) const {
   std::vector<std::pair<double, int64_t>> scored;
-  for (int64_t v = 0; v < net_->num_segments(); ++v) {
+  for (const int32_t v : cells_[static_cast<size_t>(CellOf(x, y))]) {
     const double d = PointToSegmentDistance(net_->segment(v), x, y);
     if (d <= config_.candidate_radius_m) scored.emplace_back(d, v);
   }
+  // (distance, id) ordering — identical to the old full scan, because the
+  // cell holds a superset of every segment within the radius and ids within
+  // a cell ascend.
   std::sort(scored.begin(), scored.end());
   // Keep the closest few candidates to bound Viterbi cost.
   constexpr size_t kMaxCandidates = 8;
@@ -132,7 +192,7 @@ std::vector<int64_t> HmmMapMatcher::ViterbiStates(
   auto transition = [&](int64_t from, int64_t to) {
     if (from == to) return 0.0;
     if (net_->HasEdge(from, to)) return -config_.hop_penalty;
-    for (const int64_t mid : net_->OutNeighbors(from)) {
+    for (const int64_t mid : net_->OutSpan(from)) {
       if (net_->HasEdge(mid, to)) return -2.0 * config_.hop_penalty;
     }
     return kNegInf;

@@ -54,9 +54,22 @@ class HmmMapMatcher {
   std::vector<int64_t> Candidates(double x, double y) const;
   /// Viterbi decode: the matched segment per GPS fix (empty on failure).
   std::vector<int64_t> ViterbiStates(const GpsTrajectory& gps) const;
+  /// Cell index of a coordinate (clamped to the grid).
+  int64_t CellOf(double x, double y) const;
 
   const roadnet::RoadNetwork* net_;
   Config config_;
+
+  // Uniform spatial hash over segment bounding boxes, built once at
+  // construction: Candidates() scans one cell instead of every segment.
+  // Each segment is inserted into every cell its bounding box expanded by
+  // candidate_radius_m overlaps, so the single-cell scan sees a superset of
+  // the segments within the radius — the distance filter then yields
+  // exactly the same candidate set as the old full scan.
+  double cell_size_m_ = 0.0;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  int64_t grid_w_ = 1, grid_h_ = 1;
+  std::vector<std::vector<int32_t>> cells_;
 };
 
 }  // namespace start::traj

@@ -34,7 +34,8 @@ TripGenerator::TripGenerator(const TrafficModel* traffic, const Config& config)
     : traffic_(traffic),
       net_(&traffic->network()),
       config_(config),
-      rng_(config.seed) {
+      rng_(config.seed),
+      router_(&traffic->network()) {
   START_CHECK(traffic != nullptr);
   START_CHECK_GT(config.num_drivers, 0);
   const int64_t v = net_->num_segments();
@@ -70,15 +71,20 @@ int64_t TripGenerator::WorkAnchor(int64_t driver) const {
 }
 
 int64_t TripGenerator::SampleNear(int64_t anchor, common::Rng* rng) const {
-  const auto& a = net_->segment(anchor);
-  // Collect segments inside the zone (small networks: linear scan is fine,
-  // and the result is cached implicitly by retrying the scan rarely).
-  std::vector<int64_t> near;
-  for (int64_t v = 0; v < net_->num_segments(); ++v) {
-    if (Dist(a, net_->segment(v)) <= config_.zone_radius_m) {
-      near.push_back(v);
+  auto it = zone_cache_.find(anchor);
+  if (it == zone_cache_.end()) {
+    // First query for this anchor: scan the network once and memoize the
+    // zone membership (ids ascending, so sampling below is deterministic).
+    const auto& a = net_->segment(anchor);
+    std::vector<int64_t> near;
+    for (int64_t v = 0; v < net_->num_segments(); ++v) {
+      if (Dist(a, net_->segment(v)) <= config_.zone_radius_m) {
+        near.push_back(v);
+      }
     }
+    it = zone_cache_.emplace(anchor, std::move(near)).first;
   }
+  const std::vector<int64_t>& near = it->second;
   if (near.empty()) return anchor;
   return near[static_cast<size_t>(rng->UniformInt(
       static_cast<int64_t>(near.size())))];
@@ -126,7 +132,7 @@ Trajectory TripGenerator::GenerateTrip(int64_t driver, int64_t src,
         PreferenceMultiplier(trip_seed, road, config_.trip_noise);
     return base * pref * noise;
   };
-  auto route = roadnet::ShortestPath(*net_, src, dst, weight);
+  auto route = router_.Route(src, dst, weight);
   if (!route.has_value() || route->path.size() < 2) return t;
   // Realise timestamps through the congestion model.
   t.roads = route->path;

@@ -1,10 +1,12 @@
 #ifndef START_TRAJ_TRIP_GENERATOR_H_
 #define START_TRAJ_TRIP_GENERATOR_H_
 
+#include <map>
 #include <vector>
 
 #include "common/rng.h"
 #include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
 #include "traj/traffic_model.h"
 #include "traj/trajectory.h"
 
@@ -63,6 +65,13 @@ class TripGenerator {
   std::vector<int64_t> home_anchor_;
   std::vector<int64_t> work_anchor_;
   std::vector<uint64_t> driver_seed_;
+  /// Reusable Dijkstra workspace: per-driver weights rule out contraction
+  /// hierarchies, but the O(|V|) label arrays need not be reallocated per
+  /// trip. Routes are bitwise-identical to roadnet::ShortestPath.
+  roadnet::DijkstraRouter router_;
+  /// anchor segment -> segments within zone_radius_m (SampleNear scans the
+  /// network once per distinct anchor instead of once per call).
+  mutable std::map<int64_t, std::vector<int64_t>> zone_cache_;
 };
 
 }  // namespace start::traj

@@ -1,0 +1,354 @@
+#include "roadnet/ch_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "roadnet/csr_graph.h"
+#include "roadnet/shortest_path.h"
+#include "roadnet/synthetic_city.h"
+#include "testing.h"
+
+namespace start::roadnet {
+namespace {
+
+RoadNetwork MakeCity(int32_t grid, uint64_t seed) {
+  SyntheticCityConfig config;
+  config.grid_width = grid;
+  config.grid_height = grid;
+  config.seed = seed;
+  return BuildSyntheticCity(config);
+}
+
+// --- CsrGraph lowering -----------------------------------------------------
+
+TEST(CsrGraphTest, RenumberingIsABijection) {
+  const RoadNetwork net = MakeCity(6, 11);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  ASSERT_EQ(g.num_nodes(), net.num_segments());
+  std::set<int64_t> segments;
+  for (int32_t n = 0; n < g.num_nodes(); ++n) {
+    const int64_t s = g.ToSegment(n);
+    EXPECT_EQ(g.ToNode(s), n);
+    segments.insert(s);
+  }
+  EXPECT_EQ(static_cast<int64_t>(segments.size()), net.num_segments());
+}
+
+TEST(CsrGraphTest, HubsAreRenumberedFirst) {
+  const RoadNetwork net = MakeCity(6, 11);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  auto degree = [&](int32_t n) {
+    const int64_t s = g.ToSegment(n);
+    return net.OutDegree(s) + net.InDegree(s);
+  };
+  for (int32_t n = 1; n < g.num_nodes(); ++n) {
+    EXPECT_GE(degree(n - 1), degree(n));
+  }
+}
+
+TEST(CsrGraphTest, ArcCountAndWeightsMatchNetwork) {
+  const RoadNetwork net = MakeCity(6, 11);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  EXPECT_EQ(g.num_arcs(), net.num_edges());
+  const int64_t* offsets = g.out_offsets();
+  const int32_t* heads = g.out_heads();
+  const Cost* weights = g.out_weights();
+  for (int32_t n = 0; n < g.num_nodes(); ++n) {
+    for (int64_t k = offsets[n]; k < offsets[n + 1]; ++k) {
+      EXPECT_TRUE(net.HasEdge(g.ToSegment(n), g.ToSegment(heads[k])));
+      EXPECT_EQ(weights[k], g.node_cost(heads[k]));
+    }
+  }
+}
+
+TEST(CsrGraphTest, FingerprintTracksMetric) {
+  const RoadNetwork net = MakeCity(5, 3);
+  const CsrGraph a = CsrGraph::FromNetworkFreeFlow(net);
+  const CsrGraph b = CsrGraph::FromNetworkFreeFlow(net);
+  const CsrGraph c = CsrGraph::FromNetwork(
+      net, [&net](int64_t s) { return 2.0 * net.FreeFlowTravelTime(s); });
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST(CsrDijkstraTest, MatchesLegacyShortestPathCost) {
+  const RoadNetwork net = MakeCity(6, 19);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  CsrDijkstra dij(&g);
+  auto weight = [&net](int64_t s) { return net.FreeFlowTravelTime(s); };
+  auto rng = testutil::TestRng();
+  for (int trial = 0; trial < 25; ++trial) {
+    const int64_t src = rng.UniformInt(0, net.num_segments() - 1);
+    const int64_t dst = rng.UniformInt(0, net.num_segments() - 1);
+    const auto legacy = ShortestPath(net, src, dst, weight);
+    const Cost c = dij.Distance(g.ToNode(src), g.ToNode(dst));
+    if (!legacy.has_value()) {
+      EXPECT_EQ(c, kInfCost);
+      continue;
+    }
+    ASSERT_LT(c, kInfCost);
+    // Quantization error is bounded by half a cost unit per path segment.
+    const double seconds = g.CostToSeconds(c);
+    const double tolerance =
+        static_cast<double>(legacy->path.size()) / 1000.0;
+    EXPECT_NEAR(seconds, legacy->cost, tolerance + 1e-9);
+  }
+}
+
+// --- ChEngine exactness (the core contract) --------------------------------
+
+/// CH distances must be *identical* to Dijkstra over the same integer
+/// weights — across random cities of different sizes and seeds.
+TEST(ChEngineTest, DistancesBitwiseEqualDijkstraAcrossRandomCities) {
+  const struct {
+    int32_t grid;
+    uint64_t city_seed;
+    uint64_t ch_seed;
+  } kCases[] = {
+      {4, 1, 7}, {5, 22, 7}, {6, 303, 11}, {7, 4004, 13}, {8, 50005, 17},
+  };
+  for (const auto& tc : kCases) {
+    SCOPED_TRACE(::testing::Message() << "grid=" << tc.grid
+                                      << " city_seed=" << tc.city_seed);
+    const RoadNetwork net = MakeCity(tc.grid, tc.city_seed);
+    const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+    ChOptions options;
+    options.seed = tc.ch_seed;
+    const ChEngine ch = ChEngine::Build(&g, options);
+    ChEngine::QueryContext ctx = ch.MakeContext();
+    CsrDijkstra dij(&g);
+    auto rng = testutil::TestRng(tc.city_seed);
+    for (int trial = 0; trial < 60; ++trial) {
+      const int32_t src =
+          static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1));
+      const int32_t dst =
+          static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1));
+      EXPECT_EQ(ch.Distance(src, dst, &ctx), dij.Distance(src, dst))
+          << "src=" << src << " dst=" << dst;
+    }
+  }
+}
+
+TEST(ChEngineTest, RouteUnpacksToValidPathWithExactCost) {
+  const RoadNetwork net = MakeCity(7, 99);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  const ChEngine ch = ChEngine::Build(&g);
+  ChEngine::QueryContext ctx = ch.MakeContext();
+  CsrDijkstra dij(&g);
+  auto rng = testutil::TestRng();
+  int routed = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int32_t src =
+        static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1));
+    const int32_t dst =
+        static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1));
+    const auto route = ch.Route(src, dst, &ctx);
+    const Cost expect = dij.Distance(src, dst);
+    if (!route.has_value()) {
+      EXPECT_EQ(expect, kInfCost);
+      continue;
+    }
+    ++routed;
+    EXPECT_EQ(route->cost, expect);
+    ASSERT_FALSE(route->nodes.empty());
+    EXPECT_EQ(route->nodes.front(), src);
+    EXPECT_EQ(route->nodes.back(), dst);
+    // Every hop must be a real arc, and the declared cost must equal the
+    // recomputed node-cost sum (source included).
+    Cost sum = g.node_cost(route->nodes.front());
+    for (size_t i = 0; i + 1 < route->nodes.size(); ++i) {
+      EXPECT_TRUE(
+          net.HasEdge(g.ToSegment(route->nodes[i]),
+                      g.ToSegment(route->nodes[i + 1])))
+          << "hop " << i;
+      sum += g.node_cost(route->nodes[i + 1]);
+    }
+    EXPECT_EQ(sum, route->cost);
+  }
+  EXPECT_GT(routed, 0);
+}
+
+TEST(ChEngineTest, SameSeedBuildsIdenticalHierarchy) {
+  const RoadNetwork net = MakeCity(5, 7);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  const ChEngine a = ChEngine::Build(&g);
+  const ChEngine b = ChEngine::Build(&g);
+  ASSERT_EQ(a.num_shortcuts(), b.num_shortcuts());
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(a.Rank(v), b.Rank(v));
+  }
+}
+
+TEST(ChEngineTest, DifferentSeedsStillExact) {
+  const RoadNetwork net = MakeCity(5, 7);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  ChOptions other;
+  other.seed = 0xDEADBEEF;
+  const ChEngine ch = ChEngine::Build(&g, other);
+  ChEngine::QueryContext ctx = ch.MakeContext();
+  CsrDijkstra dij(&g);
+  for (int32_t src = 0; src < g.num_nodes(); src += 7) {
+    for (int32_t dst = 0; dst < g.num_nodes(); dst += 11) {
+      EXPECT_EQ(ch.Distance(src, dst, &ctx), dij.Distance(src, dst));
+    }
+  }
+}
+
+TEST(ChEngineTest, SourceEqualsTargetCostsOneSegment) {
+  const RoadNetwork net = MakeCity(4, 5);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  const ChEngine ch = ChEngine::Build(&g);
+  ChEngine::QueryContext ctx = ch.MakeContext();
+  EXPECT_EQ(ch.Distance(3, 3, &ctx), g.node_cost(3));
+  const auto route = ch.Route(3, 3, &ctx);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->nodes, std::vector<int32_t>{3});
+}
+
+// --- Many-to-many ----------------------------------------------------------
+
+TEST(ChEngineTest, ManyToManyMatchesPairwiseDistances) {
+  const RoadNetwork net = MakeCity(6, 42);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  const ChEngine ch = ChEngine::Build(&g);
+  ChEngine::QueryContext ctx = ch.MakeContext();
+  auto rng = testutil::TestRng();
+  std::vector<int32_t> sources, targets;
+  for (int i = 0; i < 9; ++i) {
+    sources.push_back(static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1)));
+    targets.push_back(static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1)));
+  }
+  std::vector<Cost> table;
+  ch.ManyToMany(sources, targets, &ctx, &table);
+  ASSERT_EQ(table.size(), sources.size() * targets.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(table[i * targets.size() + j],
+                ch.Distance(sources[i], targets[j], &ctx))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(ChEngineTest, ManyToManyEmptyInputs) {
+  const RoadNetwork net = MakeCity(4, 2);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  const ChEngine ch = ChEngine::Build(&g);
+  ChEngine::QueryContext ctx = ch.MakeContext();
+  std::vector<Cost> table;
+  ch.ManyToMany({}, {1, 2}, &ctx, &table);
+  EXPECT_TRUE(table.empty());
+  ch.ManyToMany({1}, {}, &ctx, &table);
+  EXPECT_TRUE(table.empty());
+}
+
+// --- Alternative routes ----------------------------------------------------
+
+TEST(ChEngineTest, AlternativeRoutesAreSimpleSortedAndLeadWithShortest) {
+  const RoadNetwork net = MakeCity(6, 123);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  const ChEngine ch = ChEngine::Build(&g);
+  ChEngine::QueryContext ctx = ch.MakeContext();
+  CsrDijkstra dij(&g);
+  auto rng = testutil::TestRng();
+  int nonempty = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int32_t src =
+        static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1));
+    const int32_t dst =
+        static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1));
+    const std::vector<CsrPath> alts = ch.AlternativeRoutes(src, dst, 6, &ctx);
+    if (alts.empty()) {
+      EXPECT_EQ(dij.Distance(src, dst), kInfCost);
+      continue;
+    }
+    ++nonempty;
+    EXPECT_EQ(alts.front().cost, dij.Distance(src, dst));
+    for (size_t i = 0; i < alts.size(); ++i) {
+      const CsrPath& p = alts[i];
+      EXPECT_EQ(p.nodes.front(), src);
+      EXPECT_EQ(p.nodes.back(), dst);
+      std::set<int32_t> unique(p.nodes.begin(), p.nodes.end());
+      EXPECT_EQ(unique.size(), p.nodes.size()) << "path not simple";
+      if (i > 0) {
+        EXPECT_GE(p.cost, alts[i - 1].cost);
+        EXPECT_NE(p.nodes, alts[i - 1].nodes);
+      }
+    }
+  }
+  EXPECT_GT(nonempty, 0);
+}
+
+// --- Serialization ---------------------------------------------------------
+
+TEST(ChEngineTest, SaveLoadRoundTripPreservesQueries) {
+  const testutil::TempDir dir;
+  const std::string path = dir.path() + "/ch.bin";
+  const RoadNetwork net = MakeCity(6, 77);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  const ChEngine built = ChEngine::Build(&g);
+  ASSERT_TRUE(built.Save(path).ok());
+  auto loaded = ChEngine::Load(path, &g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_shortcuts(), built.num_shortcuts());
+  ChEngine::QueryContext bctx = built.MakeContext();
+  ChEngine::QueryContext lctx = loaded->MakeContext();
+  auto rng = testutil::TestRng();
+  for (int trial = 0; trial < 30; ++trial) {
+    const int32_t src =
+        static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1));
+    const int32_t dst =
+        static_cast<int32_t>(rng.UniformInt(0, g.num_nodes() - 1));
+    EXPECT_EQ(built.Distance(src, dst, &bctx),
+              loaded->Distance(src, dst, &lctx));
+  }
+}
+
+TEST(ChEngineTest, LoadRefusesMismatchedGraph) {
+  const testutil::TempDir dir;
+  const std::string path = dir.path() + "/ch.bin";
+  const RoadNetwork net = MakeCity(5, 1);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  ASSERT_TRUE(ChEngine::Build(&g).Save(path).ok());
+  const RoadNetwork other_net = MakeCity(5, 2);
+  const CsrGraph other = CsrGraph::FromNetworkFreeFlow(other_net);
+  const auto loaded = ChEngine::Load(path, &other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(ChEngineTest, LoadRejectsCorruptArtifact) {
+  const testutil::TempDir dir;
+  const std::string path = dir.path() + "/ch.bin";
+  const RoadNetwork net = MakeCity(4, 9);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  ASSERT_TRUE(ChEngine::Build(&g).Save(path).ok());
+  // Flip one byte in the middle of the payload.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(64);
+  char b = 0;
+  f.seekg(64);
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(64);
+  f.write(&b, 1);
+  f.close();
+  const auto loaded = ChEngine::Load(path, &g);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(ChEngineTest, LoadRejectsMissingFile) {
+  const RoadNetwork net = MakeCity(4, 9);
+  const CsrGraph g = CsrGraph::FromNetworkFreeFlow(net);
+  const auto loaded = ChEngine::Load("/nonexistent/ch.bin", &g);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace start::roadnet

@@ -220,5 +220,27 @@ TEST_F(DataTest, DetourChangesRouteKeepsEndpointsConnected) {
   EXPECT_GT(made, 0);
 }
 
+TEST_F(DataTest, DetourGeneratorSatisfiesSameContractAsYen) {
+  common::Rng rng(7);
+  DetourGenerator generator(&traffic_, {});
+  int64_t made = 0;
+  for (uint64_t s = 0; s < 8 && made < 2; ++s) {
+    const traj::Trajectory t = MakeTrip(s);
+    const auto detour = generator.Generate(t, &rng);
+    if (!detour.has_value()) continue;
+    ++made;
+    EXPECT_NE(detour->roads, t.roads);
+    EXPECT_EQ(detour->roads.front(), t.roads.front());
+    EXPECT_EQ(detour->roads.back(), t.roads.back());
+    for (size_t i = 0; i + 1 < detour->roads.size(); ++i) {
+      EXPECT_TRUE(net_.HasEdge(detour->roads[i], detour->roads[i + 1]));
+    }
+    for (size_t i = 0; i + 1 < detour->timestamps.size(); ++i) {
+      EXPECT_LT(detour->timestamps[i], detour->timestamps[i + 1]);
+    }
+  }
+  EXPECT_GT(made, 0);
+}
+
 }  // namespace
 }  // namespace start::data

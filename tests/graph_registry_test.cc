@@ -1,0 +1,149 @@
+// GraphRegistry tests: registration semantics (duplicate ids, unfinalized
+// networks, prebuilt bundles) and the reader/registrar concurrency contract —
+// Get() snapshots stay valid and readers keep querying while other threads
+// register new cities. Runs under the `concurrency` ctest label so the TSan
+// job covers the shared_mutex + snapshot handoff.
+#include "roadnet/graph_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "roadnet/synthetic_city.h"
+#include "testing.h"
+
+namespace start::roadnet {
+namespace {
+
+std::shared_ptr<const RoadNetwork> MakeCity(int64_t grid, uint64_t seed) {
+  SyntheticCityConfig config;
+  config.grid_width = grid;
+  config.grid_height = grid;
+  config.seed = seed;
+  return std::make_shared<const RoadNetwork>(BuildSyntheticCity(config));
+}
+
+TEST(GraphRegistryTest, RegisterBuildsFullBundle) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("porto", MakeCity(4, 1)).ok());
+  const auto entry = registry.Get("porto");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->city, "porto");
+  ASSERT_NE(entry->network, nullptr);
+  ASSERT_NE(entry->graph, nullptr);
+  ASSERT_NE(entry->ch, nullptr);
+  EXPECT_EQ(entry->graph->num_nodes(), entry->network->num_segments());
+  EXPECT_EQ(&entry->ch->graph(), entry->graph.get());
+  EXPECT_TRUE(registry.Contains("porto"));
+  EXPECT_FALSE(registry.Contains("beijing"));
+  EXPECT_EQ(registry.Get("beijing"), nullptr);
+  EXPECT_EQ(registry.size(), 1);
+}
+
+TEST(GraphRegistryTest, DuplicateCityIdIsRejected) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("porto", MakeCity(3, 1)).ok());
+  const auto status = registry.Register("porto", MakeCity(4, 2));
+  EXPECT_EQ(status.code(), common::StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.size(), 1);
+}
+
+TEST(GraphRegistryTest, UnfinalizedNetworkIsRejected) {
+  GraphRegistry registry;
+  auto net = std::make_shared<RoadNetwork>();
+  net->AddSegment({});
+  const auto status = registry.Register("raw", net);
+  EXPECT_EQ(status.code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphRegistryTest, PrebuiltBundleMustBeConsistent) {
+  GraphRegistry registry;
+  const auto net = MakeCity(3, 5);
+  auto graph = std::make_shared<const CsrGraph>(
+      CsrGraph::FromNetworkFreeFlow(*net));
+  auto other = std::make_shared<const CsrGraph>(
+      CsrGraph::FromNetworkFreeFlow(*net));
+  auto ch = std::make_shared<const ChEngine>(ChEngine::Build(graph.get()));
+  // ch was built over `graph`, not `other`: the registry must refuse the
+  // mismatched bundle and accept the consistent one.
+  CityGraph bad{"mismatch", net, other, ch};
+  EXPECT_EQ(registry.RegisterPrebuilt(bad).code(),
+            common::StatusCode::kFailedPrecondition);
+  CityGraph good{"ok", net, graph, ch};
+  EXPECT_TRUE(registry.RegisterPrebuilt(good).ok());
+  EXPECT_EQ(registry.Get("ok")->ch.get(), ch.get());
+}
+
+TEST(GraphRegistryTest, CitiesAreSorted) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("porto", MakeCity(3, 1)).ok());
+  ASSERT_TRUE(registry.Register("beijing", MakeCity(3, 2)).ok());
+  ASSERT_TRUE(registry.Register("chengdu", MakeCity(3, 3)).ok());
+  EXPECT_EQ(registry.Cities(),
+            (std::vector<std::string>{"beijing", "chengdu", "porto"}));
+}
+
+TEST(GraphRegistryTest, ReadersKeepQueryingWhileCitiesRegister) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("city0", MakeCity(5, 10)).ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kNewCities = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> queries{0};
+
+  // Readers hammer Get() + CH queries on whatever cities exist. Snapshots
+  // taken before a registration must stay valid throughout.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&registry, &stop, &queries, r] {
+      const auto pinned = registry.Get("city0");
+      ASSERT_NE(pinned, nullptr);
+      auto ctx = pinned->ch->MakeContext();
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Query the pinned snapshot...
+        const int32_t n = pinned->graph->num_nodes();
+        const int32_t src = static_cast<int32_t>((i * 13 + r) % n);
+        const int32_t dst = static_cast<int32_t>((i * 31 + 7) % n);
+        (void)pinned->ch->Distance(src, dst, &ctx);
+        // ...and whichever cities have appeared since.
+        const auto cities = registry.Cities();
+        for (const auto& c : cities) EXPECT_TRUE(registry.Contains(c));
+        queries.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  // Registrar thread adds cities (each Register runs a CSR lowering + CH
+  // build) while the readers run.
+  std::thread registrar([&registry] {
+    for (int c = 1; c <= kNewCities; ++c) {
+      ASSERT_TRUE(registry
+                      .Register("city" + std::to_string(c),
+                                MakeCity(4, 100 + static_cast<uint64_t>(c)))
+                      .ok());
+    }
+  });
+  registrar.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(queries.load(), 0);
+  EXPECT_EQ(registry.size(), kNewCities + 1);
+  // Every registered city is fully usable after the dust settles.
+  for (const auto& city : registry.Cities()) {
+    const auto entry = registry.Get(city);
+    ASSERT_NE(entry, nullptr);
+    auto ctx = entry->ch->MakeContext();
+    EXPECT_LT(entry->ch->Distance(0, entry->graph->num_nodes() - 1, &ctx),
+              kInfCost);
+  }
+}
+
+}  // namespace
+}  // namespace start::roadnet

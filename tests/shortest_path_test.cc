@@ -124,5 +124,51 @@ TEST(KspTest, FirstPathIsShortest) {
   EXPECT_EQ(paths[1].path, (std::vector<int64_t>{0, 2, 3}));
 }
 
+TEST(KspTest, EqualCostPathsComeOutInLexicographicOrder) {
+  // 0 -> {1, 2, 3} -> 4 under a uniform metric: three simple paths of
+  // identical cost. The documented contract pins their order to the node
+  // sequence, independent of heap internals or generation order.
+  RoadNetwork net;
+  for (int i = 0; i < 5; ++i) {
+    RoadSegment s;
+    s.length_m = 100;
+    s.maxspeed_mps = 10;
+    net.AddSegment(s);
+  }
+  for (const int64_t mid : {1, 2, 3}) {
+    net.AddEdge(0, mid);
+    net.AddEdge(mid, 4);
+  }
+  net.Finalize();
+  auto uniform = [](int64_t) { return 1.0; };
+  const auto paths = KShortestPaths(net, 0, 4, 5, uniform);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].path, (std::vector<int64_t>{0, 1, 4}));
+  EXPECT_EQ(paths[1].path, (std::vector<int64_t>{0, 2, 4}));
+  EXPECT_EQ(paths[2].path, (std::vector<int64_t>{0, 3, 4}));
+  for (const auto& p : paths) EXPECT_DOUBLE_EQ(p.cost, 3.0);
+}
+
+TEST(DijkstraRouterTest, BitwiseIdenticalToShortestPathAcrossQueries) {
+  const SyntheticCityConfig config{.grid_width = 6, .grid_height = 6,
+                                   .seed = 11};
+  const RoadNetwork net = BuildSyntheticCity(config);
+  auto weight = [&](int64_t v) { return net.FreeFlowTravelTime(v); };
+  DijkstraRouter router(&net);
+  const int64_t n = net.num_segments();
+  for (int64_t q = 0; q < 40; ++q) {
+    const int64_t src = (q * 7919) % n;
+    const int64_t dst = (q * 104729 + 13) % n;
+    const auto a = ShortestPath(net, src, dst, weight);
+    const auto b = router.Route(src, dst, weight);
+    ASSERT_EQ(a.has_value(), b.has_value()) << src << "->" << dst;
+    if (!a.has_value()) continue;
+    // Bitwise, not approximate: the workspace router must replay the exact
+    // float operations of the legacy routine (golden corpora depend on it).
+    EXPECT_EQ(a->cost, b->cost) << src << "->" << dst;
+    EXPECT_EQ(a->path, b->path) << src << "->" << dst;
+  }
+}
+
 }  // namespace
 }  // namespace start::roadnet

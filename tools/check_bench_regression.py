@@ -50,6 +50,25 @@ HEADLINE_METRICS = {
                     doc["padding_efficiency"]["bucketed"]
             },
         ),
+        # CH-backed detour generation vs the seed's per-call Yen search —
+        # a same-host ratio of two algorithms over the identical corpus.
+        (
+            "detour CH-vs-Yen speedup",
+            lambda doc: {"detour.ch_speedup": doc["detour"]["ch_speedup"]},
+        ),
+    ],
+    "BENCH_graph.json": [
+        # Contraction-hierarchy point-to-point speedup over CSR Dijkstra on
+        # the same pairs, and the exactness share (must stay 1.0 — the CH
+        # answers are integer-identical to Dijkstra by construction).
+        (
+            "contraction-hierarchy query speedup",
+            lambda doc: {"ch_speedup": doc["ch_speedup"]},
+        ),
+        (
+            "contraction-hierarchy exactness",
+            lambda doc: {"ch_exactness": doc["ch_exactness"]},
+        ),
     ],
     "BENCH_pretrain.json": [
         # The sharded engine's determinism contract: K in {2,3,5} bitwise
