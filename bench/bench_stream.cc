@@ -41,6 +41,7 @@
 #include "core/start_model.h"
 #include "data/dataset.h"
 #include "roadnet/synthetic_city.h"
+#include "serve/adaptation.h"
 #include "serve/drift_monitor.h"
 #include "serve/embedding_index.h"
 #include "serve/frozen_encoder.h"
@@ -294,6 +295,103 @@ int main() {
               static_cast<long long>(drift.windows_completed()),
               static_cast<long long>(drift.drift_events()));
 
+  // 4. The adaptation loop end to end: a controller boots from the same
+  //    checkpoint, ingests a replay stream, and a triggered round
+  //    warm-start fine-tunes off it, rebuilds the index under the new
+  //    engine, and hot-swaps with catch-up — then the post-swap serving
+  //    index must hold recall@10 >= 0.95 against an exact oracle of the
+  //    NEW engine's own embeddings (hard gate).
+  start::serve::AdaptationConfig adapt;
+  adapt.model = config;
+  adapt.artifact_dir = ".";
+  adapt.base_checkpoint = checkpoint;
+  adapt.finetune.epochs = 1;
+  adapt.finetune.batch_size = 16;
+  adapt.finetune.num_workers = 0;
+  adapt.drift.window_size = 1 << 30;  // the round is triggered explicitly
+  adapt.stream = stream_config;
+  adapt.corpus_capacity = 4096;
+  adapt.min_retrain_corpus = 32;
+  auto created = start::serve::AdaptationController::Create(
+      adapt, w.net.get(), w.transfer.get(), w.traffic.get());
+  if (!created.ok()) {
+    std::fprintf(stderr, "adaptation boot failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  auto controller = std::move(created.value());
+  const auto phase_c = MakeStream(w, /*passes=*/2, /*id_base=*/90000000, 58);
+  for (const auto& item : phase_c) {
+    if (!controller->Push(item).ok()) {
+      std::fprintf(stderr, "adaptation push rejected mid-stream\n");
+      return 1;
+    }
+  }
+  controller->Flush();
+  Stopwatch round_timer;
+  controller->TriggerRetrain();
+  if (!controller->WaitUntilIdle(/*timeout_us=*/600'000'000)) {
+    std::fprintf(stderr, "adaptation round never went idle\n");
+    return 1;
+  }
+  const double round_seconds = round_timer.ElapsedSeconds();
+  const auto adapt_stats = controller->stats();
+  if (adapt_stats.rounds_completed != 1 || adapt_stats.generation != 1) {
+    std::fprintf(stderr, "adaptation round failed: %s\n",
+                 adapt_stats.last_error.c_str());
+    return 1;
+  }
+  // Post-swap oracle: re-match + re-encode every served id with the NEW
+  // engine — batch invariance makes these rows bitwise what the rebuild
+  // inserted, so recall isolates the swapped index's graph quality.
+  const auto bundle = controller->engine();
+  const start::traj::HmmMapMatcher matcher(w.net.get(),
+                                           stream_config.matcher);
+  std::vector<int64_t> served_ids;
+  std::vector<start::traj::Trajectory> served;
+  for (const auto& item : phase_c) {
+    if (!bundle.index->Contains(item.id)) continue;
+    served_ids.push_back(item.id);
+    served.push_back(matcher.MatchTrajectory(item.gps));
+  }
+  const std::vector<float> post_rows =
+      bundle.encoder->EmbedAll(served, stream_config.mode);
+  start::serve::EmbeddingIndex post_exact(d);
+  if (!post_exact.AddBatch(served_ids, post_rows).ok()) std::abort();
+  Rng post_rng(59);
+  double post_sum = 0.0;
+  for (int64_t qi = 0; qi < kQueries; ++qi) {
+    std::vector<float> q(static_cast<size_t>(d));
+    const int64_t rows = static_cast<int64_t>(post_rows.size()) / d;
+    const int64_t pick = post_rng.UniformInt(rows);
+    for (int64_t j = 0; j < d; ++j) {
+      q[static_cast<size_t>(j)] =
+          post_rows[static_cast<size_t>(pick * d + j)] +
+          static_cast<float>(post_rng.Normal(0.0, 0.05));
+    }
+    const auto truth = post_exact.Query(q.data(), d, 10);
+    const auto got = bundle.index->Query(q.data(), d, 10);
+    if (!truth.ok() || !got.ok()) std::abort();
+    int64_t overlap = 0;
+    for (const auto& nb : *got) {
+      for (const auto& tb : *truth) {
+        if (nb.id == tb.id) {
+          ++overlap;
+          break;
+        }
+      }
+    }
+    post_sum +=
+        static_cast<double>(overlap) / static_cast<double>(truth->size());
+  }
+  const double post_swap_recall = post_sum / static_cast<double>(kQueries);
+  std::printf("adaptation: round %.2fs (gen %lld, %lld catch-up items), "
+              "post-swap recall@10 %.4f over %lld rows\n",
+              round_seconds, static_cast<long long>(adapt_stats.generation),
+              static_cast<long long>(adapt_stats.catch_up_items),
+              post_swap_recall,
+              static_cast<long long>(bundle.index->size()));
+
   std::FILE* json = std::fopen("BENCH_stream.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_stream.json for writing\n");
@@ -330,6 +428,15 @@ int main() {
                static_cast<long long>(drift.windows_completed()));
   std::fprintf(json, "  \"drift_events\": %lld,\n",
                static_cast<long long>(drift.drift_events()));
+  std::fprintf(json,
+               "  \"adaptation\": {\"round_seconds\": %.2f, "
+               "\"generation\": %lld, \"catch_up_items\": %lld, "
+               "\"index_rows\": %lld},\n",
+               round_seconds, static_cast<long long>(adapt_stats.generation),
+               static_cast<long long>(adapt_stats.catch_up_items),
+               static_cast<long long>(bundle.index->size()));
+  std::fprintf(json, "  \"post_swap_recall_at_10\": %.4f,\n",
+               post_swap_recall);
   std::fprintf(json, "  \"accounting_ok\": %s\n", accounted ? "true" : "false");
   std::fprintf(json, "}\n");
   std::fclose(json);
@@ -344,6 +451,12 @@ int main() {
   }
   if (recall < 0.95) {
     std::fprintf(stderr, "GATE FAILED: recall@10 %.4f < 0.95\n", recall);
+    return 1;
+  }
+  if (post_swap_recall < 0.95) {
+    std::fprintf(stderr,
+                 "GATE FAILED: post-swap recall@10 %.4f < 0.95\n",
+                 post_swap_recall);
     return 1;
   }
   if (!accounted) {

@@ -1,0 +1,64 @@
+#include "core/retrain.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "core/start_model.h"
+
+namespace start::core {
+
+common::Result<RetrainResult> WarmStartRetrain(
+    const StartConfig& config, const roadnet::RoadNetwork* net,
+    const roadnet::TransferProbability* transfer,
+    const traj::TrafficModel* traffic,
+    const std::vector<traj::Trajectory>& corpus,
+    const RetrainOptions& options) {
+  if (net == nullptr || transfer == nullptr) {
+    return common::Status::InvalidArgument(
+        "WarmStartRetrain: null road network / transfer probability");
+  }
+  if (corpus.empty()) {
+    return common::Status::InvalidArgument(
+        "WarmStartRetrain: empty fine-tune corpus");
+  }
+  for (const traj::Trajectory& t : corpus) {
+    if (t.size() == 0 || t.size() > config.max_len) {
+      return common::Status::InvalidArgument(
+          "WarmStartRetrain: corpus trajectory is empty or exceeds max_len");
+    }
+  }
+  if (options.base_checkpoint.empty() || options.output_checkpoint.empty()) {
+    return common::Status::InvalidArgument(
+        "WarmStartRetrain: base/output checkpoint path missing");
+  }
+  if (!CheckpointExists(options.base_checkpoint)) {
+    return common::Status::NotFound("WarmStartRetrain: base checkpoint " +
+                                    options.base_checkpoint + " not found");
+  }
+
+  // Fresh model, then parameters only from the base artifact: a warm start,
+  // not a resume (see the header for why the distinction matters).
+  common::Rng rng(options.pretrain.seed);
+  StartModel model(config, net, transfer, &rng);
+  START_RETURN_IF_ERROR(LoadModelCheckpoint(
+      options.base_checkpoint, &model, HashStartConfig(config)));
+
+  PretrainConfig plan = options.pretrain;
+  plan.checkpoint_path = options.output_checkpoint;
+  plan.resume = false;   // never continue a stale plan at the output path
+  plan.max_steps = 0;    // run the whole fine-tune plan
+
+  RetrainResult result;
+  result.stats = Pretrain(&model, corpus, traffic, plan);
+  result.corpus_size = static_cast<int64_t>(corpus.size());
+  result.checkpoint = options.output_checkpoint;
+  if (!CheckpointExists(options.output_checkpoint)) {
+    return common::Status::IOError(
+        "WarmStartRetrain: fine-tune finished but no artifact at " +
+        options.output_checkpoint);
+  }
+  return result;
+}
+
+}  // namespace start::core

@@ -1,0 +1,63 @@
+#ifndef START_CORE_RETRAIN_H_
+#define START_CORE_RETRAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/pretrain.h"
+#include "roadnet/road_network.h"
+#include "traj/traffic_model.h"
+#include "traj/trajectory.h"
+
+namespace start::core {
+
+/// Knobs of one warm-start retraining round.
+struct RetrainOptions {
+  /// Warm-start source artifact: a model OR training checkpoint (parameters
+  /// only are loaded — optimizer slots and the trainer cursor are ignored,
+  /// so the fine-tune corpus is free to differ from the original run's).
+  std::string base_checkpoint;
+  /// Where the fine-tuned artifact is written. May equal base_checkpoint
+  /// (the write is atomic tmp+rename), but adaptation keeps generations
+  /// side by side so a failed round never touches the serving artifact.
+  std::string output_checkpoint;
+  /// Fine-tune plan. `checkpoint_path`, `resume`, and `max_steps` are
+  /// overridden internally (output routing / always-fresh plan); everything
+  /// else — epochs, lr, seed, augmentations — is honored as given.
+  PretrainConfig pretrain;
+};
+
+/// Telemetry of a completed retraining round.
+struct RetrainResult {
+  PretrainStats stats;        ///< Per-epoch losses of the fine-tune run.
+  int64_t corpus_size = 0;    ///< Trajectories trained on.
+  std::string checkpoint;     ///< == options.output_checkpoint.
+};
+
+/// \brief Warm-start fine-tune: loads the parameters of `base_checkpoint`
+/// into a fresh model and runs the Sec. III-C self-supervised tasks over
+/// `corpus`, writing the result to `output_checkpoint`.
+///
+/// This is deliberately NOT PretrainConfig::resume — resume replays an
+/// interrupted run and refuses a changed corpus (plan hash); retraining is
+/// a new run over a NEW corpus that merely starts from trained weights.
+/// Optimizer state is rebuilt from scratch (fresh AdamW moments), matching
+/// the paper's fine-tuning protocol.
+///
+/// Pure-Status boundary for the adaptation loop: a missing/corrupt base
+/// artifact, an empty corpus, or an unwritable output path returns an
+/// error and writes nothing — the caller's serving artifact is untouched.
+/// Deterministic: the same (base artifact, corpus, options) produces a
+/// bitwise-identical output artifact.
+common::Result<RetrainResult> WarmStartRetrain(
+    const StartConfig& config, const roadnet::RoadNetwork* net,
+    const roadnet::TransferProbability* transfer,
+    const traj::TrafficModel* traffic,
+    const std::vector<traj::Trajectory>& corpus,
+    const RetrainOptions& options);
+
+}  // namespace start::core
+
+#endif  // START_CORE_RETRAIN_H_

@@ -68,6 +68,38 @@ void DriftMonitor::SetOnDrift(Callback callback) {
 
 void DriftMonitor::Observe(const float* embedding, int64_t dim) {
   START_CHECK_EQ(dim, dim_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_callback_ && std::this_thread::get_id() == callback_thread_) {
+      // Reentrant Observe from inside the drift callback: accumulating now
+      // would mutate window state mid-callback and could recurse into a
+      // nested callback without bound. Defer; the frame that fired the
+      // callback replays these in arrival order once it returns.
+      deferred_.insert(deferred_.end(), embedding, embedding + dim_);
+      return;
+    }
+  }
+  AccumulateAndNotify(embedding);
+  // Replay anything the callback observed reentrantly. A replayed
+  // embedding may itself complete a drifted window, fire the callback, and
+  // defer more — iterate until the queue stays empty.
+  while (true) {
+    std::vector<float> replay;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A callback on another thread may still be deferring; leave its
+      // queue alone — its own frame drains once the callback returns.
+      if (in_callback_ || deferred_.empty()) break;
+      replay.swap(deferred_);
+    }
+    const size_t stride = static_cast<size_t>(dim_);
+    for (size_t at = 0; at + stride <= replay.size(); at += stride) {
+      AccumulateAndNotify(replay.data() + at);
+    }
+  }
+}
+
+void DriftMonitor::AccumulateAndNotify(const float* embedding) {
   DriftWindowStats completed;
   bool window_done = false;
   {
@@ -85,7 +117,17 @@ void DriftMonitor::Observe(const float* embedding, int64_t dim) {
       window_done = true;
     }
   }
-  if (window_done && completed.drifted && on_drift_) on_drift_(completed);
+  if (window_done && completed.drifted && on_drift_) {
+    std::lock_guard<std::mutex> serial(callback_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_callback_ = true;
+      callback_thread_ = std::this_thread::get_id();
+    }
+    on_drift_(completed);
+    std::lock_guard<std::mutex> lock(mu_);
+    in_callback_ = false;
+  }
 }
 
 DriftWindowStats DriftMonitor::FinalizeWindowLocked() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 namespace start::serve {
@@ -68,7 +69,17 @@ struct DriftWindowStats {
 ///
 /// Thread-safety: all methods are safe to call concurrently; Observe()
 /// calls are serialized internally, and the callback runs on the observing
-/// thread with no monitor lock held.
+/// thread with no monitor lock held. At most one callback runs at a time
+/// (a second thread completing a drifted window blocks until the running
+/// callback returns).
+///
+/// Reentrancy: a callback MAY call back into this monitor. Reads
+/// (History(), observed(), ...) see the state as of the window that fired.
+/// A reentrant Observe() does not recurse into a nested callback — the
+/// embedding is deferred and replayed, in arrival order, after the callback
+/// returns; windows completed by the replay fire their own (sequential,
+/// never nested) callbacks. Deferred embeddings count toward observed()
+/// only once replayed, so a callback never sees its own observes.
 class DriftMonitor {
  public:
   using Callback = std::function<void(const DriftWindowStats&)>;
@@ -107,11 +118,25 @@ class DriftMonitor {
   /// caller can fire the callback outside the lock.
   DriftWindowStats FinalizeWindowLocked();
 
+  /// Accumulates one embedding and fires the callback when it completes a
+  /// drifted window. Must not be called from inside the callback (Observe's
+  /// reentrancy guard routes that case to deferred_ instead).
+  void AccumulateAndNotify(const float* embedding);
+
   const int64_t dim_;
   const DriftConfig config_;
   Callback on_drift_;
 
+  /// Serializes callback invocations across observing threads, held while
+  /// on_drift_ runs; never held together with mu_.
+  std::mutex callback_mu_;
+
   mutable std::mutex mu_;
+  bool in_callback_ = false;         ///< Guarded by mu_.
+  std::thread::id callback_thread_;  ///< Guarded by mu_.
+  /// Embeddings Observe()d reentrantly from inside the callback, flattened
+  /// [k * dim]; replayed after the callback returns. Guarded by mu_.
+  std::vector<float> deferred_;
   int64_t observed_ = 0;
   int64_t drift_events_ = 0;
   std::vector<double> window_sum_;    ///< Running mean-vector accumulator.

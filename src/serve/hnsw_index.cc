@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "tensor/kernels.h"
+#include "tensor/serialize.h"
 
 namespace start::serve {
 
@@ -120,6 +121,8 @@ HnswIndex::HnswIndex(int64_t dim, const HnswConfig& config)
   START_CHECK_GT(dim, 0);
   START_CHECK_GE(config.M, 2);
   START_CHECK_GE(config.ef_construction, 1);
+  START_CHECK_GT(config.min_live_ratio, 0.0);
+  START_CHECK_LE(config.min_live_ratio, 1.0);
   for (int64_t i = 0; i < kMaxBlocks; ++i) {
     blocks_[static_cast<size_t>(i)].store(nullptr,
                                           std::memory_order_relaxed);
@@ -525,8 +528,10 @@ common::Result<std::vector<Neighbor>> HnswIndex::Query(const float* query,
   }
   // Tombstones occupy candidate-pool slots but never surface, so under
   // churn a fixed ef would return fewer than k live results. Inflate the
-  // pool by the live fraction (capped at 4x for adversarial churn).
-  const double live_ratio = std::max(0.25, 1.0 - DeadFraction());
+  // pool by the live fraction, floored at config.min_live_ratio (the
+  // default caps inflation at 4x for adversarial churn).
+  const double live_ratio =
+      std::max(config_.min_live_ratio, 1.0 - DeadFraction());
   const int64_t ef = static_cast<int64_t>(
       std::ceil(static_cast<double>(std::max<int64_t>(ef_search(), k)) /
                 live_ratio));
@@ -541,6 +546,252 @@ common::Result<std::vector<Neighbor>> HnswIndex::Query(const float* query,
     out.push_back(Neighbor{IdAt(c.slot), -c.dist});
   }
   ReleaseScratch(std::move(s));
+  return out;
+}
+
+common::Result<std::unique_ptr<HnswIndex>> HnswIndex::CompactedCopy() const {
+  auto out = std::make_unique<HnswIndex>(dim_, config_);
+  const int64_t slots = slot_count_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> write(out->insert_mu_);
+  for (int64_t slot = 0; slot < slots; ++slot) {
+    if (IsDead(slot)) continue;
+    // Rows are stored normalized, so InsertNormalized reuses the exact bits
+    // the original Add produced — the rebuilt graph is bitwise-identical to
+    // a fresh build over the surviving rows.
+    START_RETURN_IF_ERROR(out->InsertNormalized(IdAt(slot), RowPtr(slot)));
+  }
+  return out;
+}
+
+namespace {
+/// Container meta_tag marking an HNSW graph artifact, so a model checkpoint
+/// handed to Load (or vice versa) is rejected by tag, not by field chaos.
+constexpr uint64_t kHnswMetaTag = 0x484e535731ULL;  // "HNSW1"
+}  // namespace
+
+common::Status HnswIndex::Save(const std::string& path) const {
+  std::lock_guard<std::mutex> write(insert_mu_);
+  const int64_t slots = slot_count_.load(std::memory_order_acquire);
+  tensor::RecordBundle bundle;
+  bundle.ints["shape"] = {dim_,       config_.M, config_.ef_construction,
+                          ef_search(), slots,    size()};
+  bundle.doubles["min_live_ratio"] = {config_.min_live_ratio};
+  bundle.uints["seed"] = {config_.seed};
+  bundle.uints["entry"] = {entry_.load(std::memory_order_acquire)};
+  bundle.uints["rng"] = level_rng_.GetState();
+  if (slots > 0) {
+    std::vector<float> rows(static_cast<size_t>(slots * dim_));
+    auto& ids = bundle.ints["ids"];
+    auto& levels = bundle.ints32["levels"];
+    auto& dead = bundle.ints32["dead"];
+    auto& links0 = bundle.ints32["links0"];
+    auto& upper = bundle.ints32["upper"];
+    ids.reserve(static_cast<size_t>(slots));
+    levels.reserve(static_cast<size_t>(slots));
+    dead.reserve(static_cast<size_t>(slots));
+    links0.reserve(static_cast<size_t>(slots * (max_m0_ + 1)));
+    // Link lists are written at their fixed on-disk stride with the unused
+    // tail zero-filled (the in-memory tail past list[0] is uninitialized),
+    // so identical graphs serialize to identical bytes.
+    const auto append_list = [](std::vector<int32_t>* dst,
+                                const int32_t* list, int64_t cap) {
+      const int32_t count = list[0];
+      dst->push_back(count);
+      dst->insert(dst->end(), list + 1, list + 1 + count);
+      dst->insert(dst->end(), static_cast<size_t>(cap - count), 0);
+    };
+    for (int64_t slot = 0; slot < slots; ++slot) {
+      std::memcpy(rows.data() + slot * dim_, RowPtr(slot),
+                  static_cast<size_t>(dim_) * sizeof(float));
+      ids.push_back(IdAt(slot));
+      const int32_t level = LevelAt(slot);
+      levels.push_back(level);
+      dead.push_back(IsDead(slot) ? 1 : 0);
+      append_list(&links0, LinkListPtr(slot, 0), max_m0_);
+      for (int32_t l = 1; l <= level; ++l) {
+        append_list(&upper, LinkListPtr(slot, l), config_.M);
+      }
+    }
+    bundle.tensors.emplace(
+        "rows", tensor::Tensor::FromVector(tensor::Shape({slots, dim_}),
+                                           std::move(rows)));
+  }
+  return tensor::SaveBundle(path, kHnswMetaTag, bundle);
+}
+
+common::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
+    const std::string& path) {
+  START_ASSIGN_OR_RETURN(tensor::LoadedBundle loaded,
+                         tensor::LoadBundle(path));
+  if (loaded.meta_tag != kHnswMetaTag) {
+    return common::Status::InvalidArgument(
+        path + " is not an HNSW index artifact (meta tag mismatch)");
+  }
+  const tensor::RecordBundle& rec = loaded.records;
+  const auto bad = [&path](const std::string& what) {
+    return common::Status::InvalidArgument("corrupt HNSW artifact " + path +
+                                           ": " + what);
+  };
+  const auto shape_it = rec.ints.find("shape");
+  if (shape_it == rec.ints.end() || shape_it->second.size() != 6) {
+    return bad("missing shape record");
+  }
+  const std::vector<int64_t>& shape = shape_it->second;
+  const int64_t dim = shape[0];
+  const int64_t slots = shape[4];
+  const int64_t live = shape[5];
+  if (dim <= 0 || shape[1] < 2 || shape[2] < 1 || shape[3] < 1 || slots < 0 ||
+      slots > kMaxBlocks * kBlockRows || live < 0 || live > slots) {
+    return bad("implausible shape fields");
+  }
+  const auto mlr_it = rec.doubles.find("min_live_ratio");
+  const auto seed_it = rec.uints.find("seed");
+  const auto entry_it = rec.uints.find("entry");
+  const auto rng_it = rec.uints.find("rng");
+  if (mlr_it == rec.doubles.end() || mlr_it->second.size() != 1 ||
+      seed_it == rec.uints.end() || seed_it->second.size() != 1 ||
+      entry_it == rec.uints.end() || entry_it->second.size() != 1 ||
+      rng_it == rec.uints.end() || rng_it->second.size() != 6) {
+    return bad("missing config records");
+  }
+  HnswConfig config;
+  config.M = shape[1];
+  config.ef_construction = shape[2];
+  config.ef_search = shape[3];
+  config.seed = seed_it->second[0];
+  config.min_live_ratio = mlr_it->second[0];
+  if (!(config.min_live_ratio > 0.0) || config.min_live_ratio > 1.0) {
+    return bad("min_live_ratio out of range");
+  }
+  auto out = std::make_unique<HnswIndex>(dim, config);
+  out->level_rng_.SetState(rng_it->second);
+  const uint64_t entry = entry_it->second[0];
+  if (slots == 0) {
+    if (entry != kNoEntry) return bad("entry point without nodes");
+    return out;
+  }
+  const auto rows_it = rec.tensors.find("rows");
+  const auto ids_it = rec.ints.find("ids");
+  const auto levels_it = rec.ints32.find("levels");
+  const auto dead_it = rec.ints32.find("dead");
+  const auto links0_it = rec.ints32.find("links0");
+  const auto upper_it = rec.ints32.find("upper");
+  if (rows_it == rec.tensors.end() || ids_it == rec.ints.end() ||
+      levels_it == rec.ints32.end() || dead_it == rec.ints32.end() ||
+      links0_it == rec.ints32.end() || upper_it == rec.ints32.end()) {
+    return bad("missing node records");
+  }
+  const tensor::Tensor& rows = rows_it->second;
+  const std::vector<int64_t>& ids = ids_it->second;
+  const std::vector<int32_t>& levels = levels_it->second;
+  const std::vector<int32_t>& dead = dead_it->second;
+  const std::vector<int32_t>& links0 = links0_it->second;
+  const std::vector<int32_t>& upper = upper_it->second;
+  const int64_t max_m0 = 2 * config.M;
+  if (rows.ndim() != 2 || rows.dim(0) != slots || rows.dim(1) != dim ||
+      static_cast<int64_t>(ids.size()) != slots ||
+      static_cast<int64_t>(levels.size()) != slots ||
+      static_cast<int64_t>(dead.size()) != slots ||
+      static_cast<int64_t>(links0.size()) != slots * (max_m0 + 1)) {
+    return bad("node record sizes disagree with shape");
+  }
+  // Copies `cap + 1` ints of one on-disk link list into `dst` after
+  // validating the count and every neighbor slot (forward references are
+  // legal: backlinks point at later-inserted nodes).
+  const auto load_list = [slots](const int32_t* src, int64_t cap,
+                                 int32_t* dst) {
+    const int32_t count = src[0];
+    if (count < 0 || count > cap) return false;
+    for (int32_t i = 0; i < count; ++i) {
+      if (src[1 + i] < 0 || src[1 + i] >= slots) return false;
+    }
+    std::memcpy(dst, src, static_cast<size_t>(cap + 1) * sizeof(int32_t));
+    return true;
+  };
+  int64_t upper_cursor = 0;
+  int64_t live_seen = 0;
+  for (int64_t slot = 0; slot < slots; ++slot) {
+    const int32_t level = levels[static_cast<size_t>(slot)];
+    const int32_t dead_flag = dead[static_cast<size_t>(slot)];
+    if (level < 0 || level > kMaxLevel) return bad("node level out of range");
+    if (dead_flag != 0 && dead_flag != 1) return bad("non-boolean dead flag");
+    if ((slot >> kBlockRowsLog2) >= out->num_blocks_) {
+      auto* block = new Block(dim, max_m0);
+      out->blocks_[static_cast<size_t>(out->num_blocks_)].store(
+          block, std::memory_order_release);
+      ++out->num_blocks_;
+    }
+    Block* b = out->blocks_[static_cast<size_t>(slot >> kBlockRowsLog2)].load(
+        std::memory_order_relaxed);
+    const int64_t in = slot & (kBlockRows - 1);
+    std::memcpy(b->rows.get() + in * dim, rows.data() + slot * dim,
+                static_cast<size_t>(dim) * sizeof(float));
+    b->ids[in] = ids[static_cast<size_t>(slot)];
+    b->levels[in] = level;
+    b->dead[in].store(dead_flag, std::memory_order_relaxed);
+    if (!load_list(links0.data() + slot * (max_m0 + 1), max_m0,
+                   b->links0.get() + in * (max_m0 + 1))) {
+      return bad("invalid level-0 link list");
+    }
+    int64_t upper_offset = -1;
+    if (level > 0) {
+      const int64_t span = level * (config.M + 1);
+      if (upper_cursor + span > static_cast<int64_t>(upper.size())) {
+        return bad("truncated upper adjacency");
+      }
+      // Re-run the arena bump allocation (including the chunk-straddle
+      // skip) exactly as InsertNormalized did in slot order, so offsets —
+      // and therefore post-load inserts — match the never-saved index.
+      if ((out->upper_used_ & (kUpperChunkInts - 1)) + span >
+          kUpperChunkInts) {
+        out->upper_used_ = (out->upper_used_ | (kUpperChunkInts - 1)) + 1;
+      }
+      const int64_t chunk_idx = out->upper_used_ >> kUpperChunkLog2;
+      if (chunk_idx >= kMaxUpperChunks) {
+        return bad("upper-link arena exhausted");
+      }
+      if (chunk_idx >= out->num_upper_chunks_) {
+        out->upper_chunks_[static_cast<size_t>(chunk_idx)].store(
+            new int32_t[static_cast<size_t>(kUpperChunkInts)],
+            std::memory_order_release);
+        ++out->num_upper_chunks_;
+      }
+      upper_offset = out->upper_used_;
+      out->upper_used_ += span;
+      int32_t* chunk = out->upper_chunks_[static_cast<size_t>(chunk_idx)]
+                           .load(std::memory_order_relaxed);
+      for (int32_t l = 0; l < level; ++l) {
+        if (!load_list(
+                upper.data() + upper_cursor + l * (config.M + 1), config.M,
+                chunk + (upper_offset & (kUpperChunkInts - 1)) +
+                    l * (config.M + 1))) {
+          return bad("invalid upper link list");
+        }
+      }
+      upper_cursor += span;
+    }
+    b->upper_offsets[in] = upper_offset;
+    if (dead_flag == 0) {
+      if (!out->id_to_slot_.emplace(ids[static_cast<size_t>(slot)], slot)
+               .second) {
+        return bad("duplicate live id");
+      }
+      ++live_seen;
+    }
+  }
+  if (upper_cursor != static_cast<int64_t>(upper.size())) {
+    return bad("trailing upper adjacency");
+  }
+  if (live_seen != live) return bad("live count disagrees with tombstones");
+  if (entry == kNoEntry) return bad("no entry point with nodes present");
+  const int64_t entry_slot = EntrySlot(entry);
+  if (entry_slot < 0 || entry_slot >= slots ||
+      levels[static_cast<size_t>(entry_slot)] != EntryLevel(entry)) {
+    return bad("entry point out of range");
+  }
+  out->entry_.store(entry, std::memory_order_release);
+  out->live_.store(live, std::memory_order_release);
+  out->slot_count_.store(slots, std::memory_order_release);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,12 @@ struct HnswConfig {
   int64_t ef_construction = 128; ///< Candidate-pool width while inserting.
   int64_t ef_search = 64;        ///< Floor of the level-0 candidate pool per Query.
   uint64_t seed = 0x5eed;        ///< Level-sampling stream: fixed seed + same insertion order => identical graph.
+  /// Floor of the live-ratio ef inflation clamp, in (0, 1]. Query divides
+  /// its candidate pool by max(min_live_ratio, 1 - DeadFraction()), so the
+  /// default caps inflation at 4x; indexes expected to exceed 75% tombstones
+  /// before compaction kicks in should lower this (recall silently drops
+  /// once DeadFraction() passes 1 - min_live_ratio otherwise).
+  double min_live_ratio = 0.25;
 };
 
 /// \brief Approximate sublinear Top-K: a hierarchical navigable small-world
@@ -107,6 +114,30 @@ class HnswIndex : public IndexInterface {
     if (dead <= 0) return 0.0;  // the two atomics can be read mid-insert
     return static_cast<double>(dead) / static_cast<double>(slots);
   }
+
+  /// Deep copy with tombstones dropped: live nodes are re-inserted in slot
+  /// (= insertion) order into a fresh index with the same config, so the
+  /// result is bitwise-identical to a from-scratch build over only the live
+  /// rows (same seeded level stream, same insertion order; asserted in
+  /// tests/hnsw_index_test.cc). Safe to run while readers query this index;
+  /// a Remove racing the copy may or may not be reflected.
+  common::Result<std::unique_ptr<HnswIndex>> CompactedCopy() const;
+
+  /// Persists the full graph — rows, adjacency, tombstones, entry point,
+  /// and the level-RNG cursor — to `path` in the versioned STTN container,
+  /// so a serving restart can skip the O(N log N) build. Writers are
+  /// excluded for the duration (Save takes the insert mutex); concurrent
+  /// queries are fine, but a racing Remove may be missed.
+  common::Status Save(const std::string& path) const;
+
+  /// Rebuilds an index from a Save() artifact. Every structural field is
+  /// validated at the Status boundary (counts vs caps, neighbor slots in
+  /// range, levels, entry point, live accounting); truncation and bit flips
+  /// are caught by the container's per-record CRC. The level-RNG cursor is
+  /// restored, so inserting after Load continues the exact stream a
+  /// never-saved index would have drawn (bitwise parity, tested).
+  static common::Result<std::unique_ptr<HnswIndex>> Load(
+      const std::string& path);
 
   /// Introspection for the reproducibility tests and tooling: `id`'s
   /// neighbor ids at `level` in stored order (empty when the id is unknown

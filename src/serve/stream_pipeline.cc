@@ -1,12 +1,24 @@
 #include "serve/stream_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <utility>
 
 #include "common/check.h"
 
 namespace start::serve {
+
+namespace {
+
+/// Wraps a caller-owned raw pointer for the legacy constructor: shared_ptr
+/// semantics without ownership (the no-op deleter).
+template <typename T>
+std::shared_ptr<T> NonOwning(T* p) {
+  return std::shared_ptr<T>(p, [](T*) {});
+}
+
+}  // namespace
 
 void StreamPipeline::LatencyRing::Record(double value) {
   std::lock_guard<std::mutex> lock(mu);
@@ -36,23 +48,56 @@ void StreamPipeline::LatencyRing::Percentiles(double* p50, double* p95) const {
   *p95 = at(0.95);
 }
 
+common::Status StreamPipeline::ValidateEngine(const EngineBundle& engine) {
+  if (engine.encoder == nullptr) {
+    return common::Status::InvalidArgument("EngineBundle: null encoder");
+  }
+  if (engine.index == nullptr) {
+    return common::Status::InvalidArgument("EngineBundle: null index");
+  }
+  if (engine.index->dim() != engine.encoder->dim()) {
+    return common::Status::InvalidArgument(
+        "EngineBundle: index/encoder dim mismatch");
+  }
+  if (engine.drift != nullptr && engine.drift->dim() != engine.encoder->dim()) {
+    return common::Status::InvalidArgument(
+        "EngineBundle: drift-monitor/encoder dim mismatch");
+  }
+  return common::Status::OK();
+}
+
+std::shared_ptr<StreamPipeline::Lease> StreamPipeline::MakeLease(
+    EngineBundle engine, int64_t epoch) const {
+  auto lease = std::make_shared<Lease>();
+  lease->service = std::make_unique<EmbeddingService>(engine.encoder.get(),
+                                                      config_.service);
+  lease->engine = std::move(engine);
+  lease->epoch = epoch;
+  return lease;
+}
+
 StreamPipeline::StreamPipeline(const FrozenEncoder* encoder,
                                const roadnet::RoadNetwork* net,
                                IndexInterface* index,
                                const StreamConfig& config,
                                DriftMonitor* drift,
                                const common::FaultHooks* hooks)
-    : encoder_(encoder),
-      net_(net),
-      index_(index),
+    : StreamPipeline(
+          EngineBundle{NonOwning(encoder), NonOwning(index), NonOwning(drift)},
+          net, config, hooks) {}
+
+StreamPipeline::StreamPipeline(EngineBundle engine,
+                               const roadnet::RoadNetwork* net,
+                               const StreamConfig& config,
+                               const common::FaultHooks* hooks)
+    : net_(net),
       config_(config),
-      drift_(drift),
       hooks_(hooks != nullptr ? hooks : &common::FaultHooks::Default()) {
-  START_CHECK(encoder_ != nullptr);
   START_CHECK(net_ != nullptr);
-  START_CHECK(index_ != nullptr);
-  START_CHECK_EQ(index_->dim(), encoder_->dim());
-  if (drift_ != nullptr) START_CHECK_EQ(drift_->dim(), encoder_->dim());
+  {
+    const common::Status st = ValidateEngine(engine);
+    START_CHECK_MSG(st.ok(), st.message());
+  }
   START_CHECK_GT(config_.match_workers, 0);
   START_CHECK_GT(config_.embed_workers, 0);
   START_CHECK_GT(config_.match_queue_depth, 0);
@@ -61,7 +106,7 @@ StreamPipeline::StreamPipeline(const FrozenEncoder* encoder,
   START_CHECK_GT(config_.max_in_flight, 0);
   START_CHECK_GE(config_.max_retries, 0);
 
-  service_ = std::make_unique<EmbeddingService>(encoder_, config_.service);
+  lease_ = MakeLease(std::move(engine), /*epoch=*/0);
   active_match_.store(config_.match_workers, std::memory_order_relaxed);
   active_embed_.store(config_.embed_workers, std::memory_order_relaxed);
   pool_ = std::make_unique<common::ThreadPool>(config_.match_workers +
@@ -110,6 +155,7 @@ common::Status StreamPipeline::Push(StreamItem item) {
   Work w;
   w.seq = next_seq_++;
   w.id = item.id;
+  w.lease = lease_;  // pin the serving engine as of this seq
   w.gps = std::move(item.gps);
   ++in_flight_;
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -122,6 +168,58 @@ common::Status StreamPipeline::Push(StreamItem item) {
 void StreamPipeline::Flush() {
   std::unique_lock<std::mutex> lock(match_q_.mu);
   flush_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool StreamPipeline::WaitQuiescent(int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(match_q_.mu);
+  return flush_cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                            [this] { return in_flight_ == 0; });
+}
+
+common::Status StreamPipeline::SwapEngine(EngineBundle engine,
+                                          bool require_quiescent) {
+  common::Status st = ValidateEngine(engine);
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> swap_serial(swap_mu_);
+  int64_t next_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(match_q_.mu);
+    if (!accepting_) {
+      return common::Status::FailedPrecondition(
+          "StreamPipeline::SwapEngine: pipeline is draining");
+    }
+    if (engine.encoder->dim() != lease_->engine.encoder->dim()) {
+      return common::Status::InvalidArgument(
+          "StreamPipeline::SwapEngine: new engine dim differs from serving "
+          "dim");
+    }
+    if (require_quiescent && in_flight_ != 0) {
+      return common::Status::FailedPrecondition(
+          "StreamPipeline::SwapEngine: items in flight");
+    }
+    next_epoch = lease_->epoch + 1;
+  }
+  // Build the lease (the EmbeddingService spins up worker threads) outside
+  // the ingress lock; the swap itself is a pointer exchange.
+  std::shared_ptr<Lease> fresh = MakeLease(std::move(engine), next_epoch);
+  std::shared_ptr<Lease> retired;
+  {
+    std::lock_guard<std::mutex> lock(match_q_.mu);
+    if (!accepting_) {  // raced with Drain between the two lockings
+      return common::Status::FailedPrecondition(
+          "StreamPipeline::SwapEngine: pipeline is draining");
+    }
+    if (require_quiescent && in_flight_ != 0) {
+      return common::Status::FailedPrecondition(
+          "StreamPipeline::SwapEngine: items in flight");
+    }
+    retired = std::move(lease_);
+    lease_ = std::move(fresh);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  // `retired` drops here; items accepted under it hold their own references
+  // and release the bundle (and its EmbeddingService) as they finalize.
+  return common::Status::OK();
 }
 
 void StreamPipeline::Drain() {
@@ -191,6 +289,7 @@ void StreamPipeline::EmitOutcome(Outcome o) {
       // Shed the payload but keep the marker: the finalizer still needs
       // exactly one outcome per seq for ordering and accounting.
       o.kind = OutcomeKind::kDropped;
+      o.lease.reset();
       o.traj = traj::Trajectory();
       o.row = EmbeddingRow();
       upsert_.dropped.fetch_add(1, std::memory_order_relaxed);
@@ -216,7 +315,7 @@ void StreamPipeline::MatchLoop() {
         st = common::Status::InvalidArgument(
             "map matching failed or matched too few roads");
       } else {
-        st = encoder_->Validate(w.traj);
+        st = w.lease->engine.encoder->Validate(w.traj);
       }
     }
     match_lat_.Record(static_cast<double>(hooks_->NowUs() - t0) / 1000.0);
@@ -258,7 +357,7 @@ void StreamPipeline::EmbedLoop() {
     common::Status st = RunWithRetry("embed", w.seq, &embed_);
     EmbeddingRow row;
     if (st.ok()) {
-      auto future = service_->Encode(w.traj, config_.mode);
+      auto future = w.lease->service->Encode(w.traj, config_.mode);
       if (!future.ok()) {
         st = future.status();
       } else {
@@ -280,6 +379,7 @@ void StreamPipeline::EmbedLoop() {
     o.seq = w.seq;
     o.id = w.id;
     o.kind = OutcomeKind::kIngest;
+    o.lease = std::move(w.lease);
     o.traj = std::move(w.traj);
     o.row = std::move(row);
     EmitOutcome(std::move(o));
@@ -296,15 +396,18 @@ void StreamPipeline::EmbedLoop() {
 
 void StreamPipeline::ProcessOutcome(Outcome* o) {
   if (o->kind != OutcomeKind::kIngest) return;  // counted at the dropping door
+  const EngineBundle& engine = o->lease->engine;
   const int64_t t0 = hooks_->NowUs();
   common::Status st = RunWithRetry("upsert", o->seq, &upsert_);
-  if (st.ok()) st = index_->Add(o->id, o->row.data(), o->row.dim());
+  if (st.ok()) st = engine.index->Add(o->id, o->row.data(), o->row.dim());
   upsert_lat_.Record(static_cast<double>(hooks_->NowUs() - t0) / 1000.0);
   if (!st.ok()) {
     upsert_.failed.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (drift_ != nullptr) drift_->Observe(o->row.data(), o->row.dim());
+  if (engine.drift != nullptr) {
+    engine.drift->Observe(o->row.data(), o->row.dim());
+  }
   if (on_ingested_) on_ingested_(o->id, o->traj, o->row);
   upsert_.completed.fetch_add(1, std::memory_order_relaxed);
 }
@@ -379,10 +482,12 @@ PipelineStats StreamPipeline::stats() const {
   match_lat_.Percentiles(&s.match.p50_ms, &s.match.p95_ms);
   embed_lat_.Percentiles(&s.embed.p50_ms, &s.embed.p95_ms);
   upsert_lat_.Percentiles(&s.upsert.p50_ms, &s.upsert.p95_ms);
+  s.swaps = swaps_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(match_q_.mu);
     s.match.queue_depth = static_cast<int64_t>(match_q_.q.size());
     s.in_flight = in_flight_;
+    s.epoch = lease_->epoch;
   }
   {
     std::lock_guard<std::mutex> lock(embed_q_.mu);
@@ -393,6 +498,26 @@ PipelineStats StreamPipeline::stats() const {
     s.upsert.queue_depth = outcome_q_.payload;
   }
   return s;
+}
+
+EngineBundle StreamPipeline::engine() const {
+  std::lock_guard<std::mutex> lock(match_q_.mu);
+  return lease_->engine;
+}
+
+int64_t StreamPipeline::epoch() const {
+  std::lock_guard<std::mutex> lock(match_q_.mu);
+  return lease_->epoch;
+}
+
+const FrozenEncoder* StreamPipeline::encoder() const {
+  std::lock_guard<std::mutex> lock(match_q_.mu);
+  return lease_->engine.encoder.get();
+}
+
+IndexInterface* StreamPipeline::index() const {
+  std::lock_guard<std::mutex> lock(match_q_.mu);
+  return lease_->engine.index.get();
 }
 
 }  // namespace start::serve

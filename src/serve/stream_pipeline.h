@@ -30,6 +30,22 @@ struct StreamItem {
   traj::GpsTrajectory gps;
 };
 
+/// \brief One complete serving snapshot: the frozen encoder, the ANN index
+/// its embeddings are upserted into, and (optionally) the drift monitor
+/// watching the stream.
+///
+/// The pipeline serves from exactly one bundle at a time and hot-swaps to a
+/// new one atomically at a sequence boundary (SwapEngine). Ownership is
+/// shared so a retired bundle stays alive until the last in-flight item
+/// accepted under it has been finalized — the adaptation controller hands
+/// the pipeline a freshly built bundle and may immediately drop its own
+/// references. `drift` may be null (no drift tracking).
+struct EngineBundle {
+  std::shared_ptr<const FrozenEncoder> encoder;
+  std::shared_ptr<IndexInterface> index;
+  std::shared_ptr<DriftMonitor> drift;
+};
+
 /// What a stage does when its downstream queue is full.
 enum class OverflowPolicy {
   kBlock,       ///< Backpressure: the producer waits for space (default).
@@ -87,6 +103,8 @@ struct PipelineStats {
   int64_t accepted = 0;  ///< Items that entered the pipeline (got a seq).
   StageStats match, embed, upsert;
   int64_t in_flight = 0;  ///< Accepted but not yet finalized.
+  int64_t epoch = 0;      ///< Epoch of the currently serving engine bundle.
+  int64_t swaps = 0;      ///< Successful SwapEngine() calls so far.
 
   int64_t ingested() const { return upsert.completed; }
   int64_t total_failed() const {
@@ -131,10 +149,20 @@ struct PipelineStats {
 /// Shutdown: Drain() (also the destructor) stops accepting, lets every
 /// stage finish everything already accepted, then joins the workers.
 ///
-/// Thread-safety: Push()/stats()/Flush() may be called from any number of
-/// threads. The index must be one of the serve:: backends (their contract
-/// already allows concurrent queries during writes). Verified race-free
-/// under ThreadSanitizer (stream_pipeline_test in the tsan CI job).
+/// Hot swap: SwapEngine() atomically replaces the serving EngineBundle
+/// (encoder + index + drift monitor + the internal EmbeddingService) at a
+/// sequence boundary: every item accepted before the swap runs every stage
+/// against the bundle it was accepted under, every item accepted after
+/// runs against the new one — zero items are dropped, reordered, or split
+/// across engines, and the retired bundle is released only after its last
+/// in-flight item finalizes. A bundle that fails validation is rejected
+/// with the old engine untouched.
+///
+/// Thread-safety: Push()/stats()/Flush()/SwapEngine() may be called from
+/// any number of threads. The index must be one of the serve:: backends
+/// (their contract already allows concurrent queries during writes).
+/// Verified race-free under ThreadSanitizer (stream_pipeline_test in the
+/// tsan CI job).
 class StreamPipeline {
  public:
   /// Invoked by the finalizer after an item is fully ingested (index upsert
@@ -142,9 +170,17 @@ class StreamPipeline {
   using IngestedCallback = std::function<void(
       int64_t id, const traj::Trajectory& traj, const EmbeddingRow& row)>;
 
-  /// `encoder`, `net`, `index` (and `drift`/`hooks` when given) must
-  /// outlive the pipeline. `drift` and `hooks` may be nullptr (no drift
-  /// tracking / no injection).
+  /// `net` (and `hooks` when given) must outlive the pipeline; `engine`
+  /// shares ownership of the serving snapshot. `engine.drift` may be null
+  /// (no drift tracking), `hooks` may be nullptr (no injection).
+  StreamPipeline(EngineBundle engine, const roadnet::RoadNetwork* net,
+                 const StreamConfig& config = {},
+                 const common::FaultHooks* hooks = nullptr);
+
+  /// Raw-pointer convenience overload: wraps the components in non-owning
+  /// shared_ptrs, so `encoder`, `net`, `index` (and `drift`/`hooks` when
+  /// given) must outlive the pipeline — including any in-flight items when
+  /// the bundle is later retired by SwapEngine().
   StreamPipeline(const FrozenEncoder* encoder,
                  const roadnet::RoadNetwork* net, IndexInterface* index,
                  const StreamConfig& config = {},
@@ -171,6 +207,33 @@ class StreamPipeline {
   /// New pushes stay allowed; concurrent pushers can starve a Flush.
   void Flush();
 
+  /// Like Flush() but bounded: returns true once every accepted item has
+  /// been finalized, false if `timeout_us` elapses first. The adaptation
+  /// controller's pre-swap drain wait.
+  bool WaitQuiescent(int64_t timeout_us);
+
+  /// \brief Atomically replaces the serving engine bundle.
+  ///
+  /// Validates the bundle (non-null encoder/index, internally consistent
+  /// dims, matching the current serving dim) and installs it under the
+  /// ingress lock: the swap lands exactly between two sequence numbers.
+  /// Items already accepted keep their original bundle through every stage
+  /// (the retired bundle — and its EmbeddingService — is destroyed when the
+  /// last of them finalizes); items accepted after land on the new one. On
+  /// any validation failure, or after Drain() has begun, the current engine
+  /// keeps serving untouched and an error is returned.
+  ///
+  /// With `require_quiescent`, the swap additionally only lands while no
+  /// accepted item is in flight (checked under the same lock that installs
+  /// the bundle) and fails with FailedPrecondition otherwise. This gives
+  /// the adaptation controller an exact hand-off point: everything accepted
+  /// before a quiescent swap has fully finalized — and been reported
+  /// through the ingested callback — before the new engine sees its first
+  /// item, so one post-swap catch-up pass over the recorded corpus closes
+  /// the gap with nothing racing into the retired index.
+  common::Status SwapEngine(EngineBundle engine,
+                            bool require_quiescent = false);
+
   /// Stops accepting, drains every accepted item through all stages, joins
   /// the workers. Idempotent; called by the destructor.
   void Drain();
@@ -178,13 +241,31 @@ class StreamPipeline {
   /// Snapshot of all counters, queue depths, and stage latencies.
   PipelineStats stats() const;
 
-  const FrozenEncoder* encoder() const { return encoder_; }
-  IndexInterface* index() const { return index_; }
+  /// The currently serving bundle (shares ownership — safe to hold across a
+  /// concurrent SwapEngine()).
+  EngineBundle engine() const;
+  /// Epoch of the currently serving bundle (0 before the first swap).
+  int64_t epoch() const;
+
+  /// Raw borrows of the current bundle's components. May dangle once a
+  /// concurrent SwapEngine() retires the bundle — prefer engine() when the
+  /// pipeline is hot-swapped.
+  const FrozenEncoder* encoder() const;
+  IndexInterface* index() const;
 
  private:
+  /// The serving unit a Work item is pinned to at Push: one EngineBundle
+  /// plus the micro-batching EmbeddingService built over its encoder.
+  struct Lease {
+    EngineBundle engine;
+    int64_t epoch = 0;
+    std::unique_ptr<EmbeddingService> service;
+  };
+
   struct Work {
     int64_t seq = 0;
     int64_t id = 0;
+    std::shared_ptr<Lease> lease;  ///< Pinned at Push; never changes.
     traj::GpsTrajectory gps;  ///< Payload into the match stage.
     traj::Trajectory traj;    ///< Payload into the embed stage.
   };
@@ -196,6 +277,7 @@ class StreamPipeline {
     int64_t seq = 0;
     int64_t id = 0;
     OutcomeKind kind = OutcomeKind::kFailed;
+    std::shared_ptr<Lease> lease;  ///< kIngest only (upsert/drift target).
     traj::Trajectory traj;  ///< kIngest only.
     EmbeddingRow row;       ///< kIngest only.
   };
@@ -250,15 +332,16 @@ class StreamPipeline {
   bool PushWork(WorkQueue* q, int64_t depth, Work w, StageCounters* door);
   void EmitOutcome(Outcome o);
 
-  const FrozenEncoder* encoder_;
+  /// Recoverable bundle validation shared by the constructor (which CHECKs
+  /// the result) and SwapEngine (which returns it).
+  static common::Status ValidateEngine(const EngineBundle& engine);
+  /// Builds a lease (bundle + its EmbeddingService) — outside any lock.
+  std::shared_ptr<Lease> MakeLease(EngineBundle engine, int64_t epoch) const;
+
   const roadnet::RoadNetwork* net_;
-  IndexInterface* index_;
   const StreamConfig config_;
-  DriftMonitor* drift_;
   const common::FaultHooks* hooks_;
   IngestedCallback on_ingested_;
-
-  std::unique_ptr<EmbeddingService> service_;
 
   WorkQueue match_q_;
   WorkQueue embed_q_;
@@ -268,9 +351,16 @@ class StreamPipeline {
   bool accepting_ = true;
   int64_t next_seq_ = 0;
   int64_t in_flight_ = 0;
+  /// The serving lease; swapped at the ingress lock, so a lease boundary is
+  /// exactly a sequence boundary.
+  std::shared_ptr<Lease> lease_;
   std::condition_variable flush_cv_;
 
+  /// Serializes SwapEngine() callers (epoch assignment + lease build).
+  std::mutex swap_mu_;
+
   std::atomic<int64_t> pushed_{0}, rejected_{0}, accepted_{0};
+  std::atomic<int64_t> swaps_{0};
   StageCounters match_, embed_, upsert_;
   mutable LatencyRing match_lat_, embed_lat_, upsert_lat_;
 

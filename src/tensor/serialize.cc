@@ -30,6 +30,7 @@ enum RecordKind : uint8_t {
   kTensorI8 = 4,   // i64 rows, i64 cols, u64 scale_count, f32[rows] scales,
                    // int8[rows*cols] row-major codes
   kTensorF16 = 5,  // u32 ndim, i64 dims..., u16[numel] IEEE binary16
+  kArrayI32 = 6,   // u64 len, int32[len]
 };
 
 constexpr int64_t kMaxNdim = 8;
@@ -241,7 +242,8 @@ common::Status SaveBundle(const std::string& path, uint64_t meta_tag,
     }
     const uint64_t count = bundle.tensors.size() + bundle.doubles.size() +
                            bundle.ints.size() + bundle.uints.size() +
-                           bundle.qtensors.size() + bundle.halfs.size();
+                           bundle.qtensors.size() + bundle.halfs.size() +
+                           bundle.ints32.size();
     if (!WriteBytes(f.get(), kMagic, 4) ||
         !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
         !WriteBytes(f.get(), &meta_tag, sizeof(meta_tag)) ||
@@ -277,6 +279,10 @@ common::Status SaveBundle(const std::string& path, uint64_t meta_tag,
     for (const auto& [name, v] : bundle.uints) {
       START_RETURN_IF_ERROR(
           WriteArrayRecord(f.get(), &buf, name, kArrayU64, v));
+    }
+    for (const auto& [name, v] : bundle.ints32) {
+      START_RETURN_IF_ERROR(
+          WriteArrayRecord(f.get(), &buf, name, kArrayI32, v));
     }
     for (const auto& [name, q] : bundle.qtensors) {
       if (q.rows <= 0 || q.cols <= 0 ||
@@ -466,6 +472,23 @@ common::Result<LoadedBundle> LoadBundle(const std::string& path) {
         v.resize(static_cast<size_t>(len));
         if (len != 0) std::memcpy(v.data(), data, v.size() * sizeof(uint64_t));
       }
+    } else if (kind == kArrayI32) {
+      uint64_t len = 0;
+      if (!ReadValueInto(f.get(), &buf, &len)) {
+        return common::Status::IOError("truncated array header for " + name);
+      }
+      if (len > kMaxArrayLen || !payload_fits(len * sizeof(int32_t))) {
+        return common::Status::InvalidArgument("implausible array length in " +
+                                               path);
+      }
+      const uint8_t* data =
+          ReadInto(f.get(), &buf, static_cast<size_t>(len) * sizeof(int32_t));
+      if (data == nullptr) {
+        return common::Status::IOError("truncated array data for " + name);
+      }
+      auto& v = out.records.ints32[name];
+      v.resize(static_cast<size_t>(len));
+      if (len != 0) std::memcpy(v.data(), data, v.size() * sizeof(int32_t));
     } else if (kind == kTensorI8) {
       int64_t rows = 0;
       int64_t cols = 0;

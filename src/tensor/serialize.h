@@ -37,10 +37,14 @@ struct RecordBundle {
   std::map<std::string, std::vector<uint64_t>> uints;
   std::map<std::string, QuantizedTensor> qtensors;
   std::map<std::string, Tensor> halfs;  ///< Written as f16, loaded as f32.
+  /// Dense int32 arrays — graph adjacency / slot-index records (see
+  /// serve::HnswIndex persistence) where i64 would double the file size.
+  std::map<std::string, std::vector<int32_t>> ints32;
 
   bool empty() const {
     return tensors.empty() && doubles.empty() && ints.empty() &&
-           uints.empty() && qtensors.empty() && halfs.empty();
+           uints.empty() && qtensors.empty() && halfs.empty() &&
+           ints32.empty();
   }
 };
 

@@ -208,5 +208,55 @@ TEST(DriftMonitorTest, GoldenFixtureMatches) {
                           "regenerate via START_UPDATE_GOLDEN=1";
 }
 
+TEST(DriftMonitorTest, ReentrantObserveFromCallbackDefersInsteadOfRecursing) {
+  // The adaptation controller observes matched trajectories from inside the
+  // drift callback path, so a callback calling back into Observe() must
+  // neither deadlock nor recurse into a nested callback nor mutate window
+  // state mid-callback. Deferred embeddings replay after the callback
+  // returns and may fire follow-up callbacks — sequentially, never nested.
+  DriftConfig config;
+  config.window_size = 4;
+  config.reference_windows = 1;
+  config.cosine_shift_threshold = 0.01;
+  DriftMonitor monitor(kDim, config);
+  common::Rng rng(303);
+  const std::vector<float> base = BaseCenter();
+  const std::vector<float> shifted = ShiftedCenter();
+
+  int64_t fires = 0, depth = 0, max_depth = 0;
+  monitor.SetOnDrift([&](const DriftWindowStats& stats) {
+    ++fires;
+    ++depth;
+    max_depth = std::max(max_depth, depth);
+    // Reads from inside the callback must not deadlock, and must see the
+    // state as of the fired window — not the deferred observes below.
+    EXPECT_EQ(monitor.windows_completed(), stats.window + 1);
+    const int64_t observed_before = monitor.observed();
+    if (fires < 3) {  // feed one full drifted window back in, twice
+      for (int64_t i = 0; i < config.window_size; ++i) {
+        const std::vector<float> e = Draw(&rng, shifted, 0.05, 1.0);
+        monitor.Observe(e.data(), kDim);
+      }
+    }
+    EXPECT_EQ(monitor.observed(), observed_before) << "deferral leaked";
+    --depth;
+  });
+
+  Feed(&monitor, &rng, base, 1);     // reference window
+  Feed(&monitor, &rng, shifted, 1);  // drifted window -> callback cascade
+  // Cascade: fire 1 defers a window -> replay completes it -> fire 2 defers
+  // another -> fire 3 defers nothing. 4 completed windows, 3 drifted.
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(max_depth, 1) << "callback nested inside itself";
+  EXPECT_EQ(monitor.windows_completed(), 4);
+  EXPECT_EQ(monitor.drift_events(), 3);
+  EXPECT_EQ(monitor.observed(), 4 * config.window_size);
+  // Window indices in history stay strictly sequential despite reentrancy.
+  const auto history = monitor.History();
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].window, static_cast<int64_t>(i));
+  }
+}
+
 }  // namespace
 }  // namespace start

@@ -378,5 +378,103 @@ TEST(HnswIndexTest, HeavyChurnStillReturnsKLiveResults) {
   EXPECT_GE(RecallAtK(hnsw, exact, queries, nq, dim, k), 0.9);
 }
 
+TEST(HnswIndexTest, EfFloorKnobRestoresRecallPastSeventyFivePercentDead) {
+  // Regression for the hardcoded max(0.25, live_ratio) clamp: at 80%
+  // tombstones the default floor caps ef inflation at 4x while 5x is
+  // needed, so result sets come back short / recall drops. Lowering
+  // min_live_ratio must restore full-k results and oracle-level recall.
+  const int64_t n = 500, dim = 16, k = 10;
+  common::Rng rng = testutil::TestRng(21);
+  const std::vector<float> rows = RandomRows(&rng, n, dim);
+  HnswConfig floored;
+  floored.ef_search = 16;
+  floored.min_live_ratio = 0.05;  // inflation tracks churn up to 95% dead
+  HnswIndex relaxed(dim, floored);
+  HnswConfig stock;
+  stock.ef_search = 16;
+  HnswIndex capped(dim, stock);
+  EmbeddingIndex exact(dim);
+  for (IndexInterface* index :
+       std::vector<IndexInterface*>{&relaxed, &capped, &exact}) {
+    ASSERT_TRUE(index->AddBatch(SequentialIds(n), rows).ok());
+    for (int64_t id = 0; id < n; ++id) {  // 80% tombstones
+      if (id % 5 != 0) ASSERT_TRUE(index->Remove(id).ok());
+    }
+  }
+  ASSERT_DOUBLE_EQ(relaxed.DeadFraction(), 0.8);
+  const int64_t nq = 50;
+  const std::vector<float> queries = RandomRows(&rng, nq, dim);
+  for (int64_t q = 0; q < nq; ++q) {
+    const auto got = relaxed.Query(queries.data() + q * dim, dim, k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->size(), static_cast<size_t>(k))
+        << "floored index starved at query " << q;
+  }
+  const double relaxed_recall = RecallAtK(relaxed, exact, queries, nq, dim, k);
+  const double capped_recall = RecallAtK(capped, exact, queries, nq, dim, k);
+  EXPECT_GE(relaxed_recall, 0.95);
+  // The knob must matter: the relaxed floor may not score worse than the
+  // stock clamp on the same 80%-dead graph.
+  EXPECT_GE(relaxed_recall, capped_recall);
+}
+
+TEST(HnswIndexTest, CompactedCopyIsBitwiseEqualToFreshBuildOverLiveRows) {
+  const int64_t n = 400, dim = 16;
+  common::Rng rng = testutil::TestRng(9);
+  const std::vector<float> rows = RandomRows(&rng, n, dim);
+  HnswConfig hc;
+  hc.seed = 777;
+  HnswIndex churned(dim, hc);
+  ASSERT_TRUE(churned.AddBatch(SequentialIds(n), rows).ok());
+  for (int64_t id = 0; id < n; ++id) {
+    if (id % 2 == 0) ASSERT_TRUE(churned.Remove(id).ok());
+  }
+  ASSERT_DOUBLE_EQ(churned.DeadFraction(), 0.5);
+
+  auto compacted = churned.CompactedCopy();
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_EQ((*compacted)->size(), n / 2);
+  EXPECT_EQ((*compacted)->num_slots(), n / 2);  // tombstones reclaimed
+  EXPECT_DOUBLE_EQ((*compacted)->DeadFraction(), 0.0);
+
+  // Reference: a from-scratch build over only the surviving rows, in the
+  // original insertion order. Graphs must match link-for-link.
+  HnswIndex fresh(dim, hc);
+  for (int64_t id = 1; id < n; id += 2) {
+    ASSERT_TRUE(fresh.Add(id, rows.data() + id * dim, dim).ok());
+  }
+  ASSERT_EQ(fresh.max_level(), (*compacted)->max_level());
+  for (int64_t id = 1; id < n; id += 2) {
+    ASSERT_EQ(fresh.NodeLevel(id), (*compacted)->NodeLevel(id)) << id;
+    for (int64_t level = 0; level <= fresh.NodeLevel(id); ++level) {
+      EXPECT_EQ(fresh.GetNeighbors(id, level),
+                (*compacted)->GetNeighbors(id, level))
+          << "id " << id << " level " << level;
+    }
+  }
+}
+
+TEST(HnswIndexTest, CompactedCopyRestoresRecallOfTombstonedIndex) {
+  // The bench gate in unit form: compaction of a 50%-dead index must query
+  // as well as a never-churned build, with no dead routing hops left.
+  const int64_t n = 600, dim = 16, k = 10;
+  common::Rng rng = testutil::TestRng(15);
+  const std::vector<float> rows = RandomRows(&rng, n, dim);
+  HnswIndex churned(dim);
+  EmbeddingIndex exact(dim);
+  ASSERT_TRUE(churned.AddBatch(SequentialIds(n), rows).ok());
+  for (int64_t id = 0; id < n; id += 2) {
+    ASSERT_TRUE(churned.Remove(id).ok());
+  }
+  for (int64_t id = 1; id < n; id += 2) {
+    ASSERT_TRUE(exact.Add(id, rows.data() + id * dim, dim).ok());
+  }
+  auto compacted = churned.CompactedCopy();
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  const int64_t nq = 40;
+  const std::vector<float> queries = RandomRows(&rng, nq, dim);
+  EXPECT_GE(RecallAtK(**compacted, exact, queries, nq, dim, k), 0.95);
+}
+
 }  // namespace
 }  // namespace start

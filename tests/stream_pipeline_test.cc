@@ -11,7 +11,12 @@
 //  - deterministic replay: the same stream produces bitwise-identical
 //    embeddings, index contents, and drift windows for every worker-count
 //    configuration, swept across OpenMP regimes;
-//  - a queries-during-ingest churn soak against the HNSW backend.
+//  - a queries-during-ingest churn soak against the HNSW backend;
+//  - engine hot-swap: SwapEngine splits the stream exactly at a sequence
+//    boundary (items before/after run every stage against their own
+//    bundle), loses nothing under concurrent load, rejects invalid bundles
+//    with the old engine untouched, and under require_quiescent only lands
+//    with zero items in flight.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -119,10 +124,35 @@ class StreamPipelineTest : public ::testing::Test {
         << "accounting identity violated";
   }
 
+  /// A second frozen engine with different weights (fresh init seed), as a
+  /// hot-swap target: embeddings provably come from whichever engine served
+  /// the item.
+  static std::shared_ptr<const serve::FrozenEncoder> MakeAltEncoder() {
+    common::Rng rng(23);
+    core::StartModel model(*config_, world_->net.get(),
+                           world_->transfer.get(), &rng);
+    const std::string path = TempPath("stream_model_alt.sttn");
+    EXPECT_TRUE(core::SaveModelCheckpoint(path, model,
+                                          core::HashStartConfig(*config_))
+                    .ok());
+    auto loaded = serve::FrozenEncoder::Load(path, *config_,
+                                             world_->net.get(),
+                                             world_->transfer.get());
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    return std::shared_ptr<const serve::FrozenEncoder>(
+        std::move(loaded).value());
+  }
+
   static testutil::TinyWorld* world_;
   static core::StartConfig* config_;
   static serve::FrozenEncoder* encoder_;
 };
+
+/// Non-owning shared_ptr wrapper for fixture-owned components.
+template <typename T>
+std::shared_ptr<T> Borrow(T* p) {
+  return std::shared_ptr<T>(p, [](T*) {});
+}
 
 testutil::TinyWorld* StreamPipelineTest::world_ = nullptr;
 core::StartConfig* StreamPipelineTest::config_ = nullptr;
@@ -519,6 +549,203 @@ TEST_F(StreamPipelineTest, QueriesAndRemovesDuringIngestChurnSoak) {
   ExpectAccounted(s);
   EXPECT_EQ(index.size() + removed.load(), s.ingested());
   EXPECT_GE(index.DeadFraction(), 0.0);
+}
+
+TEST_F(StreamPipelineTest, HotSwapSplitsStreamAtSequenceBoundary) {
+  const std::vector<StreamItem> stream = MakeStream(32);
+  ASSERT_GE(stream.size(), 16u);
+  const size_t half = stream.size() / 2;
+  auto index1 = std::make_shared<HnswIndex>(encoder_->dim());
+  auto index2 = std::make_shared<HnswIndex>(encoder_->dim());
+  const std::shared_ptr<const serve::FrozenEncoder> alt = MakeAltEncoder();
+  StreamPipeline pipeline(
+      serve::EngineBundle{Borrow<const serve::FrozenEncoder>(encoder_),
+                          index1, nullptr},
+      world_->net.get(), SmallConfig());
+  Recorder rec;
+  pipeline.SetOnIngested(rec.Callback());
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(pipeline.Push(stream[i]).ok());
+  }
+  pipeline.Flush();
+  const int64_t pre = pipeline.stats().ingested();
+  ASSERT_GT(pre, 0);
+  const common::Status swapped =
+      pipeline.SwapEngine({alt, index2, nullptr}, /*require_quiescent=*/true);
+  ASSERT_TRUE(swapped.ok()) << swapped.ToString();
+  for (size_t i = half; i < stream.size(); ++i) {
+    ASSERT_TRUE(pipeline.Push(stream[i]).ok());
+  }
+  pipeline.Flush();
+  const PipelineStats s = pipeline.stats();
+  ExpectAccounted(s);
+  EXPECT_EQ(s.epoch, 1);
+  EXPECT_EQ(s.swaps, 1);
+  // The stream splits exactly at the swap: pre-swap items live in index1
+  // only, post-swap items in index2 only.
+  EXPECT_EQ(index1->size(), pre);
+  EXPECT_EQ(index1->size() + index2->size(), s.ingested());
+  for (size_t i = 0; i < rec.ids.size(); ++i) {
+    const bool pre_swap = static_cast<int64_t>(i) < pre;
+    EXPECT_EQ(index1->Contains(rec.ids[i]), pre_swap) << "id " << rec.ids[i];
+    EXPECT_EQ(index2->Contains(rec.ids[i]), !pre_swap) << "id " << rec.ids[i];
+  }
+  // Post-swap embeddings are bitwise the NEW engine's output — the swap
+  // replaced the embed service, not just the index.
+  const traj::HmmMapMatcher matcher(world_->net.get(), StreamConfig().matcher);
+  std::map<int64_t, const traj::GpsTrajectory*> by_id;
+  for (const StreamItem& item : stream) by_id[item.id] = &item.gps;
+  for (size_t i = static_cast<size_t>(pre); i < rec.ids.size(); ++i) {
+    const traj::Trajectory matched =
+        matcher.MatchTrajectory(*by_id[rec.ids[i]]);
+    const tensor::Tensor direct =
+        alt->EncodeBatch({&matched}, eval::EncodeMode::kFull);
+    ASSERT_EQ(static_cast<size_t>(direct.numel()), rec.rows[i].size());
+    EXPECT_EQ(std::memcmp(direct.data(), rec.rows[i].data(),
+                          rec.rows[i].size() * sizeof(float)),
+              0)
+        << "post-swap embedding of id " << rec.ids[i]
+        << " did not come from the new engine";
+  }
+}
+
+TEST_F(StreamPipelineTest, SwapUnderLoadLosesNothingAndPreservesOrder) {
+  const std::vector<StreamItem> stream = MakeStream(48);
+  auto index1 = std::make_shared<HnswIndex>(encoder_->dim());
+  auto index2 = std::make_shared<HnswIndex>(encoder_->dim());
+  const std::shared_ptr<const serve::FrozenEncoder> alt = MakeAltEncoder();
+  StreamPipeline pipeline(
+      serve::EngineBundle{Borrow<const serve::FrozenEncoder>(encoder_),
+                          index1, nullptr},
+      world_->net.get(), SmallConfig());
+  Recorder rec;
+  pipeline.SetOnIngested(rec.Callback());
+  // Swap mid-stream, while items are demonstrably in flight (no quiescence
+  // requirement): in-flight items must finish on the old bundle, later ones
+  // on the new, with nothing dropped or reordered.
+  std::thread swapper([&] {
+    while (pipeline.stats().ingested() < 5) std::this_thread::yield();
+    const common::Status st = pipeline.SwapEngine({alt, index2, nullptr});
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  for (const StreamItem& item : stream) {
+    ASSERT_TRUE(pipeline.Push(item).ok());
+  }
+  swapper.join();
+  pipeline.Flush();
+  const PipelineStats s = pipeline.stats();
+  ExpectAccounted(s);
+  EXPECT_EQ(s.swaps, 1);
+  EXPECT_EQ(s.epoch, 1);
+  // Nothing lost: every ingested item is in exactly one of the two indexes.
+  EXPECT_EQ(index1->size() + index2->size(), s.ingested());
+  for (const int64_t id : rec.ids) {
+    EXPECT_NE(index1->Contains(id), index2->Contains(id))
+        << "id " << id << " must live in exactly one generation";
+  }
+  // Nothing reordered: ingestion order is still push order.
+  std::vector<int64_t> expected_ingested;
+  std::set<int64_t> got(rec.ids.begin(), rec.ids.end());
+  for (const StreamItem& item : stream) {
+    if (got.count(item.id)) expected_ingested.push_back(item.id);
+  }
+  EXPECT_EQ(rec.ids, expected_ingested);
+  // The split point is a single boundary in ingestion order: once an item
+  // lands in the new index, no later item lands in the old one.
+  bool seen_new = false;
+  for (const int64_t id : rec.ids) {
+    if (index2->Contains(id)) {
+      seen_new = true;
+    } else {
+      EXPECT_FALSE(seen_new)
+          << "id " << id << " landed in the old index after the swap point";
+    }
+  }
+}
+
+TEST_F(StreamPipelineTest, SwapRejectsInvalidBundlesAndKeepsServing) {
+  const std::vector<StreamItem> stream = MakeStream(8);
+  auto index1 = std::make_shared<HnswIndex>(encoder_->dim());
+  StreamPipeline pipeline(
+      serve::EngineBundle{Borrow<const serve::FrozenEncoder>(encoder_),
+                          index1, nullptr},
+      world_->net.get(), SmallConfig());
+  const std::shared_ptr<const serve::FrozenEncoder> alt = MakeAltEncoder();
+  // Null components.
+  EXPECT_EQ(pipeline.SwapEngine({nullptr, index1, nullptr}).code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(pipeline.SwapEngine({alt, nullptr, nullptr}).code(),
+            common::StatusCode::kInvalidArgument);
+  // Dimension mismatch between the new index and the serving engine.
+  auto wrong_dim = std::make_shared<HnswIndex>(encoder_->dim() + 1);
+  EXPECT_EQ(pipeline.SwapEngine({alt, wrong_dim, nullptr}).code(),
+            common::StatusCode::kInvalidArgument);
+  // A drift monitor of the wrong dimensionality.
+  auto wrong_drift =
+      std::make_shared<DriftMonitor>(encoder_->dim() + 1, DriftConfig());
+  EXPECT_EQ(pipeline.SwapEngine({alt, index1, wrong_drift}).code(),
+            common::StatusCode::kInvalidArgument);
+  // Every rejection left the old engine serving untouched.
+  EXPECT_EQ(pipeline.stats().swaps, 0);
+  EXPECT_EQ(pipeline.stats().epoch, 0);
+  for (const StreamItem& item : stream) {
+    ASSERT_TRUE(pipeline.Push(item).ok());
+  }
+  pipeline.Flush();
+  const PipelineStats s = pipeline.stats();
+  ExpectAccounted(s);
+  EXPECT_EQ(index1->size(), s.ingested());
+  EXPECT_GT(s.ingested(), 0);
+}
+
+TEST_F(StreamPipelineTest, RequireQuiescentSwapRefusesWhileItemsInFlight) {
+  const std::vector<StreamItem> stream = MakeStream(6);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  FaultHooks hooks;
+  hooks.before_stage = [&](const char* stage, int64_t seq) {
+    if (std::strcmp(stage, "match") == 0 && seq == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });  // holds seq 0 in flight
+    }
+    return common::Status::OK();
+  };
+  auto index1 = std::make_shared<HnswIndex>(encoder_->dim());
+  auto index2 = std::make_shared<HnswIndex>(encoder_->dim());
+  const std::shared_ptr<const serve::FrozenEncoder> alt = MakeAltEncoder();
+  StreamPipeline pipeline(
+      serve::EngineBundle{Borrow<const serve::FrozenEncoder>(encoder_),
+                          index1, nullptr},
+      world_->net.get(), SmallConfig(), &hooks);
+  for (const StreamItem& item : stream) {
+    ASSERT_TRUE(pipeline.Push(item).ok());
+  }
+  // Seq 0 is stalled in match, so the pipeline cannot be quiescent: the
+  // gated swap must refuse and leave the old engine serving.
+  EXPECT_FALSE(pipeline.WaitQuiescent(/*timeout_us=*/1000));
+  EXPECT_EQ(pipeline.SwapEngine({alt, index2, nullptr},
+                                /*require_quiescent=*/true)
+                .code(),
+            common::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pipeline.stats().swaps, 0);
+  EXPECT_EQ(pipeline.stats().epoch, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pipeline.Flush();
+  EXPECT_TRUE(pipeline.WaitQuiescent(/*timeout_us=*/1'000'000));
+  // Quiescent now: the same swap lands.
+  const common::Status st =
+      pipeline.SwapEngine({alt, index2, nullptr}, /*require_quiescent=*/true);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(pipeline.stats().epoch, 1);
+  // After Drain() no swap may land at all.
+  pipeline.Drain();
+  EXPECT_EQ(pipeline.SwapEngine({alt, index1, nullptr}).code(),
+            common::StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

@@ -275,6 +275,51 @@ TEST(SerializeTest, MixedBundleWithAllKindsRoundTrips) {
   EXPECT_EQ(loaded->records.halfs.at("h").numel(), 5);
 }
 
+TEST(SerializeTest, Int32ArrayRoundTripsBitwise) {
+  RecordBundle bundle;
+  bundle.ints32.emplace(
+      "links", std::vector<int32_t>{0, -1, 2147483647, -2147483648, 17});
+  bundle.ints32.emplace("empty", std::vector<int32_t>{});
+  const std::string path = TempPath("ints32.sttn");
+  ASSERT_TRUE(SaveBundle(path, 5, bundle).ok());
+  auto loaded = LoadBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->meta_tag, 5u);
+  ASSERT_EQ(loaded->records.ints32.size(), 2u);
+  EXPECT_EQ(loaded->records.ints32.at("links"), bundle.ints32.at("links"));
+  EXPECT_TRUE(loaded->records.ints32.at("empty").empty());
+}
+
+TEST(SerializeTest, TruncatedInt32ArrayIsCleanError) {
+  RecordBundle bundle;
+  bundle.ints32.emplace("links", std::vector<int32_t>(64, 7));
+  const std::string path = TempPath("ints32_trunc.sttn");
+  ASSERT_TRUE(SaveBundle(path, 0, bundle).ok());
+  const std::vector<uint8_t> bytes = testutil::ReadFileBytes(path);
+  // Cut mid-payload: the length word claims 64 entries the file lacks.
+  testutil::WriteFileBytes(
+      path, std::vector<uint8_t>(bytes.begin(),
+                                 bytes.begin() + (bytes.size() - 100)));
+  const auto result = LoadBundle(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().code() == common::StatusCode::kIOError ||
+              result.status().code() ==
+                  common::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, CorruptInt32ArrayFailsCrc) {
+  RecordBundle bundle;
+  bundle.ints32.emplace("links", std::vector<int32_t>(16, 9));
+  const std::string path = TempPath("ints32_crc.sttn");
+  ASSERT_TRUE(SaveBundle(path, 0, bundle).ok());
+  std::vector<uint8_t> bytes = testutil::ReadFileBytes(path);
+  bytes[bytes.size() - 12] ^= 0x08;  // flip a payload bit behind the CRC
+  testutil::WriteFileBytes(path, bytes);
+  const auto result = LoadBundle(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+}
+
 TEST(SerializeTest, CorruptQuantizedRecordFailsCrc) {
   QuantizedTensor q;
   q.rows = 2;

@@ -137,6 +137,16 @@ HEADLINE_METRICS = {
                 "quantized_embed_mean_cos": doc["quantized_embed_mean_cos"]
             },
         ),
+        # Tombstone compaction must restore build-fresh recall: the
+        # compacted copy of a 50%-dead index vs the exact oracle over the
+        # survivors. Dimensionless, host-independent.
+        (
+            "ann compacted recall@10",
+            lambda doc: {
+                "ann_compaction.compacted_recall":
+                    doc["ann_compaction"]["compacted_recall"]
+            },
+        ),
     ],
     "BENCH_stream.json": [
         # Streaming-pipeline ingest throughput (full match -> embed ->
@@ -172,6 +182,16 @@ HEADLINE_METRICS = {
             "pipeline accounting identity",
             lambda doc: {
                 "accounting_ok": 1.0 if doc["accounting_ok"] else 0.0
+            },
+        ),
+        # Recall@10 of the post-swap serving index after a full adaptation
+        # round (warm-start retrain + rebuild + hot-swap + catch-up),
+        # against an exact oracle of the new engine's embeddings.
+        # Dimensionless, host-independent.
+        (
+            "post-swap recall@10",
+            lambda doc: {
+                "post_swap_recall_at_10": doc["post_swap_recall_at_10"]
             },
         ),
     ],

@@ -7,6 +7,10 @@
 //   golden_q8.sttn — a version-2 container with the quantized record kinds
 //                    (int8 tensor with per-row scales, f16 tensor), pinning
 //                    the serving-snapshot payload layout.
+//   hnsw_golden.sttn — a small HnswIndex::Save artifact (graph records:
+//                    rows, ids, levels, tombstones, fixed-stride link
+//                    lists, entry point, level-RNG cursor), pinning the ANN
+//                    persistence format read by tests/hnsw_persist_test.cc.
 //
 // These files are committed to the repository and loaded bitwise by
 // tests/golden_checkpoint_test.cc. They pin the on-disk format: a future
@@ -25,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "serve/hnsw_index.h"
 #include "tensor/serialize.h"
 #include "tensor/tensor.h"
 
@@ -131,6 +137,28 @@ bool WriteQ8(const std::string& path) {
   return SaveBundle(path, kGoldenQ8MetaTag, bundle).ok();
 }
 
+// The golden HNSW recipe — duplicated as BuildGoldenHnsw() in
+// tests/hnsw_persist_test.cc; keep the two in sync. Rows come from
+// Rng::Uniform (pure arithmetic, bit-exact everywhere).
+bool WriteHnsw(const std::string& path) {
+  start::serve::HnswConfig config;
+  config.M = 4;
+  config.ef_construction = 16;
+  config.ef_search = 8;
+  config.seed = 0xA11CE;
+  start::serve::HnswIndex index(6, config);
+  start::common::Rng rng(99);
+  for (int64_t id = 0; id < 24; ++id) {
+    std::vector<float> row(6);
+    for (auto& v : row) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    if (!index.Add(id, row.data(), 6).ok()) return false;
+  }
+  for (int64_t id = 2; id < 24; id += 5) {
+    if (!index.Remove(id).ok()) return false;
+  }
+  return index.Save(path).ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,6 +178,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", q8.c_str());
     return 1;
   }
-  std::printf("wrote %s, %s and %s\n", v1.c_str(), v2.c_str(), q8.c_str());
+  const std::string hnsw = dir + "/hnsw_golden.sttn";
+  if (!WriteHnsw(hnsw)) {
+    std::fprintf(stderr, "failed to write %s\n", hnsw.c_str());
+    return 1;
+  }
+  std::printf("wrote %s, %s, %s and %s\n", v1.c_str(), v2.c_str(),
+              q8.c_str(), hnsw.c_str());
   return 0;
 }
